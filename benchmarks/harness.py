@@ -1,0 +1,86 @@
+"""Benchmark harness helpers.
+
+Every figure/table reproduction boils down to: build the paper's
+validation (or NIC) topology with one knob changed, run ``dd`` (or the
+MMIO kernel module), and extract throughput plus link-layer statistics.
+These helpers do that and persist each experiment's rows to
+``benchmarks/results/<name>.json`` so EXPERIMENTS.md can quote them.
+"""
+
+import json
+import os
+from typing import Dict, Optional
+
+from benchmarks import config
+from repro.analysis.report import Table, link_replay_stats
+from repro.sim import ticks
+from repro.system.topology import build_nic_system, build_validation_system
+from repro.workloads.dd import DdWorkload
+from repro.workloads.mmio import MmioReadBench
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_dd(block_bytes: int, startup_overhead: Optional[int] = None,
+           **system_kwargs) -> Dict[str, float]:
+    """Build the validation system, run one dd block, return metrics."""
+    kwargs = dict(config.SYSTEM_DEFAULTS)
+    kwargs.update(system_kwargs)
+    system = build_validation_system(**kwargs)
+    dd = DdWorkload(
+        system.kernel,
+        system.disk_driver,
+        block_bytes,
+        startup_overhead=config.DD_STARTUP if startup_overhead is None else startup_overhead,
+    )
+    process = system.kernel.spawn("dd", dd.run())
+    system.run(max_events=500_000_000)
+    if not process.done:
+        raise RuntimeError("dd did not finish — simulation wedged?")
+    stats = link_replay_stats(system.disk_link)
+    sector_mean = system.disk.sector_transfer_ticks.mean
+    return {
+        "throughput_gbps": dd.result.throughput_gbps,
+        "transfer_gbps": dd.result.transfer_gbps,
+        "replay_fraction": stats["replay_fraction"],
+        "timeouts": stats["timeouts"],
+        "tlps_sent": stats["tlps_sent"],
+        "device_level_gbps": (
+            system.disk.sector_size * 8 / ticks.to_ns(sector_mean)
+            if sector_mean
+            else 0.0
+        ),
+    }
+
+
+def run_mmio(rc_latency_ns: int, iterations: int = 50,
+             **system_kwargs) -> float:
+    """Build the NIC system and measure mean 4B MMIO read latency (ns)."""
+    kwargs = dict(config.SYSTEM_DEFAULTS)
+    kwargs.update(system_kwargs)
+    system = build_nic_system(rc_latency=ticks.from_ns(rc_latency_ns), **kwargs)
+    bench = MmioReadBench(system.kernel, system.nic_driver.bar0 + 0x8,
+                          iterations=iterations)
+    process = system.kernel.spawn("mmio", bench.run())
+    system.run()
+    if not process.done:
+        raise RuntimeError("MMIO bench did not finish")
+    return bench.mean_latency_ns
+
+
+def save_results(name: str, payload: dict) -> str:
+    """Persist one experiment's data under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    return path
+
+
+def table_to_payload(table: Table) -> dict:
+    return {
+        "title": table.title,
+        "x_label": table.x_label,
+        "y_label": table.y_label,
+        "series": {s.name: {str(x): s.points[x] for x in s.xs()} for s in table.series},
+    }

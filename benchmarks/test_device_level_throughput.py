@@ -1,0 +1,54 @@
+"""Section VI-B, in-text: device-level sector throughput.
+
+"If we remove the OS overheads and make our measurements at the gem5
+device level, each sector (4KB) of the IDE disk is transferred with a
+throughput of 3.072 Gbps over our PCI-Express link" — Gen 2 x1, 64-byte
+write TLPs.  Pure wire arithmetic puts the ceiling at 3.05 Gbps
+(64 B payload / 84 wire bytes at 2 ns per byte); the measured per-sector
+value sits slightly below because of the end-of-sector response barrier.
+"""
+
+import pytest
+
+from benchmarks import config
+from benchmarks.harness import run_dd, save_results
+from repro.pcie.timing import LinkTiming, PcieGen
+from repro.sim import ticks
+
+
+@pytest.fixture(scope="module")
+def device_level():
+    result = run_dd(config.BLOCK_SIZES["64MB"])
+    wire = LinkTiming(PcieGen.GEN2, 1)
+    per_tlp = wire.transmission_ticks(wire.tlp_wire_bytes(64))
+    ceiling = 64 * 8 / ticks.to_ns(per_tlp)
+    payload = {
+        "measured_gbps": result["device_level_gbps"],
+        "wire_ceiling_gbps": ceiling,
+        "paper_gbps": 3.072,
+        "dd_level_gbps": result["throughput_gbps"],
+    }
+    print("\n# Device-level sector throughput (Gen 2 x1)")
+    for key, value in payload.items():
+        print(f"  {key}: {value:.3f}")
+    save_results("device_level_throughput", payload)
+    return payload
+
+
+def test_device_level_generates(benchmark, device_level):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert device_level["measured_gbps"] > 0
+
+
+def test_device_level_near_paper_value(benchmark, device_level):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Paper: 3.072 Gbps.  Ours must land in the same regime: above the
+    # dd-level number, below the wire ceiling.
+    measured = device_level["measured_gbps"]
+    assert 2.3 < measured <= device_level["wire_ceiling_gbps"] + 0.01
+    assert measured > device_level["dd_level_gbps"]
+
+
+def test_wire_ceiling_matches_hand_arithmetic(benchmark, device_level):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert device_level["wire_ceiling_gbps"] == pytest.approx(3.0476, rel=1e-3)

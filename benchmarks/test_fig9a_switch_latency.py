@@ -1,0 +1,77 @@
+"""Figure 9(a): dd throughput vs block size — physical machine vs the
+simulator at switch latencies 50/100/150 ns.
+
+Paper's observations this reproduction must match in shape:
+
+* the simulator tracks the physical machine's trend but sits below it
+  (the paper: within 80–90 % once device differences are accounted);
+* throughput grows with block size (fixed software cost amortising);
+* cutting switch latency 150 → 50 ns buys only a few percent ("latency
+  is not the only factor in determining the performance of a
+  PCI-Express interconnect").
+"""
+
+import pytest
+
+from benchmarks import config
+from benchmarks.harness import run_dd, save_results, table_to_payload
+from repro.analysis.report import Table
+from repro.sim import ticks
+from repro.validation.physical_reference import PhysicalSetup
+
+
+def build_table() -> Table:
+    table = Table("Fig 9(a): dd throughput vs block size",
+                  "block", "Gbps")
+    phys = PhysicalSetup(host_efficiency=0.86, startup_cost=config.PHYS_STARTUP)
+    phys_series = table.new_series("phys")
+    sim_series = {
+        ns: table.new_series(f"L{ns}") for ns in config.SWITCH_LATENCIES_NS
+    }
+    for label, nbytes in config.BLOCK_SIZES.items():
+        phys_series.add(label, phys.dd_throughput_gbps(nbytes))
+        for ns in config.SWITCH_LATENCIES_NS:
+            result = run_dd(nbytes, switch_latency=ticks.from_ns(ns))
+            sim_series[ns].add(label, result["throughput_gbps"])
+    return table
+
+
+@pytest.fixture(scope="module")
+def fig9a_table():
+    table = build_table()
+    print("\n" + table.render())
+    save_results("fig9a_switch_latency", table_to_payload(table))
+    return table
+
+
+def test_fig9a_generates_all_points(benchmark, fig9a_table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(fig9a_table.series) == 1 + len(config.SWITCH_LATENCIES_NS)
+    assert fig9a_table.xs() == sorted(config.BLOCK_SIZES)
+
+
+def test_simulator_below_physical_but_same_order(benchmark, fig9a_table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    phys, *sims = fig9a_table.series
+    for sim in sims:
+        for block in sim.points:
+            assert sim[block] < phys[block]
+            assert sim[block] > 0.6 * phys[block]
+
+
+def test_throughput_grows_with_block_size(benchmark, fig9a_table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    order = ["64MB", "128MB", "256MB", "512MB"]
+    for series in fig9a_table.series:
+        values = [series[b] for b in order]
+        assert values == sorted(values), f"{series.name} not monotone: {values}"
+
+
+def test_switch_latency_effect_is_small_but_positive(benchmark, fig9a_table):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_name = {s.name: s for s in fig9a_table.series}
+    for block in config.BLOCK_SIZES:
+        fast = by_name["L50"][block]
+        slow = by_name["L150"][block]
+        assert fast > slow  # lower latency helps...
+        assert fast < slow * 1.10  # ...but only by a few percent

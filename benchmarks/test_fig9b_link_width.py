@@ -1,0 +1,95 @@
+"""Figure 9(b): dd throughput vs PCI-Express link width (Gen 2,
+x1/x2/x4/x8, every link in the fabric swept together).
+
+Paper's observations:
+
+* x1 → x2 gives ≈1.67× (not 2×: software costs don't scale with width);
+* x2 → x4 gives a smaller increase;
+* x8 stops scaling — "the x8 link transmits packets too fast for the
+  switch port to handle" — with ~27 % of transmitted packets
+  experiencing replay versus ≈0 % at x2/x4.
+
+Our model reproduces the scaling shape and the replay cliff; the
+magnitude of the x8 throughput penalty is smaller than the paper's
+(see EXPERIMENTS.md for the quantitative comparison).
+"""
+
+import pytest
+
+from benchmarks import config
+from benchmarks.harness import run_dd, save_results, table_to_payload
+from repro.analysis.report import Table
+
+BLOCKS = {"64MB": config.BLOCK_SIZES["64MB"], "256MB": config.BLOCK_SIZES["256MB"]}
+
+
+def build_results():
+    table = Table("Fig 9(b): dd throughput vs link width", "block", "Gbps")
+    replay = {}
+    series = {w: table.new_series(f"x{w}") for w in config.LINK_WIDTHS}
+    for label, nbytes in BLOCKS.items():
+        for width in config.LINK_WIDTHS:
+            result = run_dd(nbytes, root_link_width=width,
+                            device_link_width=width)
+            series[width].add(label, result["throughput_gbps"])
+            replay[(label, width)] = result["replay_fraction"]
+    return table, replay
+
+
+@pytest.fixture(scope="module")
+def fig9b():
+    table, replay = build_results()
+    print("\n" + table.render())
+    print("replay fractions:", {f"{k[0]}/x{k[1]}": round(v, 3)
+                                for k, v in replay.items()})
+    payload = table_to_payload(table)
+    payload["replay_fractions"] = {f"{k[0]}/x{k[1]}": v for k, v in replay.items()}
+    save_results("fig9b_link_width", payload)
+    return table, replay
+
+
+def test_fig9b_generates_all_points(benchmark, fig9b):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table, __ = fig9b
+    assert len(table.series) == len(config.LINK_WIDTHS)
+
+
+def test_x1_to_x2_scaling_near_paper(benchmark, fig9b):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table, __ = fig9b
+    by_name = {s.name: s for s in table.series}
+    for block in BLOCKS:
+        ratio = by_name["x2"][block] / by_name["x1"][block]
+        # Paper: 1.67x.
+        assert 1.4 < ratio < 1.9, f"x2/x1 = {ratio:.2f}"
+
+
+def test_x2_to_x4_increase_is_smaller(benchmark, fig9b):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table, __ = fig9b
+    by_name = {s.name: s for s in table.series}
+    for block in BLOCKS:
+        first = by_name["x2"][block] / by_name["x1"][block]
+        second = by_name["x4"][block] / by_name["x2"][block]
+        assert second < first
+
+
+def test_x8_stops_scaling(benchmark, fig9b):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table, __ = fig9b
+    by_name = {s.name: s for s in table.series}
+    for block in BLOCKS:
+        third = by_name["x8"][block] / by_name["x4"][block]
+        # The paper sees an outright drop; our penalty is milder but
+        # scaling clearly collapses (x4/x2 is ~1.5).
+        assert third < 1.15, f"x8/x4 = {third:.2f}"
+
+
+def test_replay_cliff_at_x8(benchmark, fig9b):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    __, replay = fig9b
+    for (block, width), fraction in replay.items():
+        if width <= 4:
+            assert fraction < 0.01, f"x{width} replays {fraction:.1%}"
+        else:
+            assert fraction > 0.02, f"x8 replays only {fraction:.1%}"

@@ -1,0 +1,62 @@
+"""Figure 9(c): dd on an x8 fabric with replay buffer size 1/2/3/4.
+
+Paper's observations:
+
+* replay buffers of 3 or 4 suffer heavy timeouts (~27 % of transmitted
+  packets) while 1 and 2 stay near zero (0 % and 6 %);
+* *source throttling* — the small replay buffer pacing the sender —
+  therefore keeps throughput for sizes 1/2 at or above sizes 3/4:
+  "a complex and non intuitive behaviour of the PCI-Express
+  interconnect while running a simple application".
+"""
+
+import pytest
+
+from benchmarks import config
+from benchmarks.harness import run_dd, save_results
+from repro.analysis.report import Table
+
+BLOCK = config.BLOCK_SIZES["128MB"]
+
+
+@pytest.fixture(scope="module")
+def fig9c():
+    rows = {}
+    for rb in config.REPLAY_BUFFER_SIZES:
+        rows[rb] = run_dd(BLOCK, root_link_width=8, device_link_width=8,
+                          replay_buffer_size=rb)
+    print("\n# Fig 9(c): x8, replay buffer sweep (block 128MB)")
+    print(f"{'rb':>3} {'Gbps':>7} {'replay%':>8} {'timeouts':>9}")
+    for rb, r in rows.items():
+        print(f"{rb:>3} {r['throughput_gbps']:>7.3f} "
+              f"{100 * r['replay_fraction']:>8.1f} {r['timeouts']:>9}")
+    save_results("fig9c_replay_buffer", {str(k): v for k, v in rows.items()})
+    return rows
+
+
+def test_fig9c_generates_all_points(benchmark, fig9c):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(fig9c) == set(config.REPLAY_BUFFER_SIZES)
+
+
+def test_small_replay_buffers_avoid_timeouts(benchmark, fig9c):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Paper: 0 % timeouts at size 1, ~6 % at 2, ~27 % at 3 and 4.
+    assert fig9c[1]["replay_fraction"] < 0.02
+    assert fig9c[2]["replay_fraction"] < fig9c[3]["replay_fraction"] + 0.02
+    assert fig9c[4]["replay_fraction"] > fig9c[1]["replay_fraction"]
+    assert fig9c[4]["replay_fraction"] > 0.02
+
+
+def test_timeout_counts_grow_with_replay_buffer(benchmark, fig9c):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert fig9c[1]["timeouts"] <= fig9c[2]["timeouts"] <= fig9c[4]["timeouts"]
+
+
+def test_source_throttling_does_not_hurt_throughput(benchmark, fig9c):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Sizes 1 and 2 must be at least competitive with 3 and 4 — the
+    # counter-intuitive heart of the figure.
+    small = max(fig9c[1]["throughput_gbps"], fig9c[2]["throughput_gbps"])
+    large = max(fig9c[3]["throughput_gbps"], fig9c[4]["throughput_gbps"])
+    assert small >= large * 0.97

@@ -1,0 +1,67 @@
+"""Figure 9(d): dd on an x8 fabric (replay buffer restored to 4) with
+switch/root port buffers of 16/20/24/28 packets.
+
+Paper's observations:
+
+* growing the buffers from 16 to 20 gives a large throughput step;
+  24 and 28 add little (saturation);
+* the timeout rate falls only gradually (27 % → 20 % → 0 % → 0 %): "the
+  throughput increase mainly comes from the increased space in the root
+  complex and switch port buffers as opposed to a reduction in the
+  timeouts";
+* the saturated value is close to the x8 replay-buffer-2 point of
+  Figure 9(c).
+"""
+
+import pytest
+
+from benchmarks import config
+from benchmarks.harness import run_dd, save_results
+
+BLOCK = config.BLOCK_SIZES["128MB"]
+
+
+@pytest.fixture(scope="module")
+def fig9d():
+    rows = {}
+    for buf in config.PORT_BUFFER_SIZES:
+        rows[buf] = run_dd(BLOCK, root_link_width=8, device_link_width=8,
+                           buffer_size=buf)
+    rows["rb2_reference"] = run_dd(BLOCK, root_link_width=8,
+                                   device_link_width=8, replay_buffer_size=2)
+    print("\n# Fig 9(d): x8, port buffer sweep (block 128MB)")
+    print(f"{'buf':>4} {'Gbps':>7} {'replay%':>8} {'timeouts':>9}")
+    for buf in config.PORT_BUFFER_SIZES:
+        r = rows[buf]
+        print(f"{buf:>4} {r['throughput_gbps']:>7.3f} "
+              f"{100 * r['replay_fraction']:>8.1f} {r['timeouts']:>9}")
+    save_results("fig9d_port_buffers", {str(k): v for k, v in rows.items()})
+    return rows
+
+
+def test_fig9d_generates_all_points(benchmark, fig9d):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert all(buf in fig9d for buf in config.PORT_BUFFER_SIZES)
+
+
+def test_throughput_never_degrades_with_more_buffering(benchmark, fig9d):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    values = [fig9d[buf]["throughput_gbps"] for buf in config.PORT_BUFFER_SIZES]
+    for a, b in zip(values, values[1:]):
+        assert b >= a * 0.99
+
+
+def test_replays_shrink_with_buffering(benchmark, fig9d):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    fractions = [fig9d[buf]["replay_fraction"] for buf in config.PORT_BUFFER_SIZES]
+    assert fractions[0] > 0.02  # congested at 16
+    for a, b in zip(fractions, fractions[1:]):
+        assert b <= a + 1e-9
+    assert fractions[-1] < fractions[0]
+
+
+def test_saturated_value_close_to_rb2_reference(benchmark, fig9d):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    saturated = fig9d[28]["throughput_gbps"]
+    reference = fig9d["rb2_reference"]["throughput_gbps"]
+    assert saturated == pytest.approx(reference, rel=0.10)

@@ -1,0 +1,58 @@
+"""Table II: root complex latency vs 4-byte MMIO read access time.
+
+A gem5 NIC model hangs directly off a root port; a kernel module times a
+4-byte MMIO read of a NIC register while the root-complex latency sweeps
+50/75/100/125/150 ns.  The paper measures 318/358/398/438/517 ns —
+roughly +40 ns of access time per +25 ns of root-complex latency,
+because the request *and* the response both cross the root complex.
+"""
+
+import pytest
+
+from benchmarks import config
+from benchmarks.harness import run_mmio, save_results
+
+PAPER_TABLE2 = {50: 318, 75: 358, 100: 398, 125: 438, 150: 517}
+
+
+@pytest.fixture(scope="module")
+def table2():
+    rows = {ns: run_mmio(ns) for ns in config.RC_LATENCIES_NS}
+    print("\n# Table II: root complex latency vs MMIO read access time (ns)")
+    print(f"{'rc_latency':>11} {'measured':>9} {'paper':>7}")
+    for ns in config.RC_LATENCIES_NS:
+        print(f"{ns:>11} {rows[ns]:>9.0f} {PAPER_TABLE2[ns]:>7}")
+    save_results("table2_mmio_latency",
+                 {"measured_ns": rows, "paper_ns": PAPER_TABLE2})
+    return rows
+
+
+def test_table2_generates_all_points(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert set(table2) == set(config.RC_LATENCIES_NS)
+
+
+def test_latency_increases_monotonically(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    values = [table2[ns] for ns in sorted(table2)]
+    assert values == sorted(values)
+
+
+def test_slope_reflects_two_rc_crossings(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Request + response each cross the RC: every 25 ns of RC latency
+    # must add at least 50 ns of access time (the paper sees ~40 ns per
+    # 25 ns, i.e. ~1.6 crossings' worth; exact pipelining differs).
+    deltas = [
+        table2[b] - table2[a]
+        for a, b in zip(sorted(table2), sorted(table2)[1:])
+    ]
+    for delta in deltas:
+        assert 25 <= delta <= 80, f"step of {delta:.0f} ns per 25 ns RC step"
+
+
+def test_absolute_latency_same_order_as_paper(benchmark, table2):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for ns, measured in table2.items():
+        paper = PAPER_TABLE2[ns]
+        assert 0.5 * paper < measured < 2.0 * paper

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: build the paper's validation system and run ``dd``.
+
+Assembles the full machine — processor, MemBus, DRAM, IOCache, PCI
+host, root complex, a Gen 2 x4 link to a PCI-Express switch, and a
+Gen 2 x1 link to an IDE-like disk — boots it (real PCI enumeration with
+BAR assignment and bridge-window programming), binds the disk driver,
+and reads 1 MB with a ``dd``-style workload.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.report import link_replay_stats
+from repro.sim import ticks
+from repro.system.topology import build_validation_system
+from repro.workloads.dd import DdWorkload
+
+
+def main() -> None:
+    system = build_validation_system()
+
+    print("=== discovered PCI hierarchy (lspci-style) ===")
+    print(system.kernel.enumerator.tree_text())
+    driver = system.disk_driver
+    print(f"\ndisk driver: BAR0 at {driver.bar0:#x}, "
+          f"interrupt mode: {driver.interrupt_mode}, "
+          f"IRQ line {driver.found.interrupt_line}")
+
+    dd = DdWorkload(system.kernel, driver, block_size=1 << 20,
+                    startup_overhead=ticks.from_us(450))
+    process = system.kernel.spawn("dd", dd.run())
+    system.run()
+    assert process.done
+
+    result = dd.result
+    print("\n=== dd if=/dev/disk of=/dev/zero bs=1M count=1 iflag=direct ===")
+    print(f"{result.nbytes} bytes copied, "
+          f"{ticks.to_ms(result.elapsed_ticks):.3f} ms, "
+          f"{result.throughput_gbps:.2f} Gbps")
+    print(f"transfer phase only: {result.transfer_gbps:.2f} Gbps")
+
+    stats = link_replay_stats(system.disk_link)
+    print(f"\ndisk link: {stats['tlps_sent']} TLPs sent, "
+          f"{stats['replays']} replayed, {stats['timeouts']} timeouts")
+    sector_ns = ticks.to_ns(system.disk.sector_transfer_ticks.mean)
+    print(f"device-level sector throughput: "
+          f"{4096 * 8 / sector_ns:.2f} Gbps "
+          f"(paper: 3.072 Gbps on Gen 2 x1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Result extraction and reporting helpers for the benchmarks."""
+
+from repro.analysis.report import Series, Table, format_table, link_replay_stats
+
+__all__ = ["Series", "Table", "format_table", "link_replay_stats"]

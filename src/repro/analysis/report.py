@@ -1,0 +1,91 @@
+"""Tables and series in the shape the paper reports them.
+
+The benchmark harness uses these to print each figure/table as rows
+(one per x-axis point, one column per series), which is also what
+EXPERIMENTS.md records.
+"""
+
+from typing import Dict, List, Optional, Sequence
+
+
+class Series:
+    """One line of a figure: a name plus y-values keyed by x."""
+
+    def __init__(self, name: str, points: Optional[Dict] = None):
+        self.name = name
+        self.points: Dict = dict(points or {})
+
+    def add(self, x, y) -> None:
+        self.points[x] = y
+
+    def __getitem__(self, x):
+        return self.points[x]
+
+    def xs(self) -> List:
+        return sorted(self.points)
+
+
+class Table:
+    """A figure/table: several series over a shared x-axis."""
+
+    def __init__(self, title: str, x_label: str, y_label: str):
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self.series: List[Series] = []
+
+    def new_series(self, name: str) -> Series:
+        series = Series(name)
+        self.series.append(series)
+        return series
+
+    def xs(self) -> List:
+        out = []
+        for series in self.series:
+            for x in series.points:
+                if x not in out:
+                    out.append(x)
+        return sorted(out)
+
+    def render(self, fmt: str = "{:.3f}") -> str:
+        return format_table(self, fmt)
+
+
+def format_table(table: Table, fmt: str = "{:.3f}") -> str:
+    """Fixed-width text rendering of a :class:`Table`."""
+    headers = [table.x_label] + [s.name for s in table.series]
+    rows = []
+    for x in table.xs():
+        row = [str(x)]
+        for series in table.series:
+            value = series.points.get(x)
+            row.append(fmt.format(value) if value is not None else "-")
+        rows.append(row)
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        f"# {table.title}  ({table.y_label})",
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def link_replay_stats(link) -> Dict[str, float]:
+    """Replay/timeout statistics of a link's upstream-bound interface
+    (the disk-to-switch direction the paper instruments)."""
+    interface = link.downstream_if
+    sent = interface.tlps_sent.value()
+    replays = interface.tlp_replays.value()
+    total = sent + replays
+    return {
+        "tlps_sent": sent,
+        "replays": replays,
+        "timeouts": interface.timeouts.value(),
+        "replay_fraction": replays / total if total else 0.0,
+        "delivery_refused": interface.peer.delivery_refused.value(),
+    }

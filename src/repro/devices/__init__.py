@@ -1,0 +1,20 @@
+"""PCI-Express device models.
+
+* :mod:`repro.devices.base` — the generic PCI-Express device template
+  (PIO slave port, DMA master port, config function, legacy interrupt);
+* :mod:`repro.devices.dma` — a chunking DMA engine with an outstanding
+  window and optional per-buffer completion barrier;
+* :mod:`repro.devices.disk` — the IDE-like storage device used for the
+  ``dd`` experiments (1 µs sector access, no internal bandwidth limit,
+  no posted writes: a sector's DMA must be fully acknowledged before the
+  next begins);
+* :mod:`repro.devices.nic` — the 8254x-pcie NIC model with the paper's
+  capability chain (PM → MSI → PCIe → MSI-X, all but PCIe disabled).
+"""
+
+from repro.devices.base import PcieDevice
+from repro.devices.dma import DmaEngine
+from repro.devices.disk import IdeDisk
+from repro.devices.nic import Nic8254xPcie
+
+__all__ = ["PcieDevice", "DmaEngine", "IdeDisk", "Nic8254xPcie"]

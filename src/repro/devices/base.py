@@ -1,0 +1,219 @@
+"""The generic PCI-Express device template.
+
+The paper enables one concrete device (the 8254x-pcie NIC) but stresses
+that it "can serve as a template for future PCI-Express device model
+developments".  :class:`PcieDevice` is that template:
+
+* a :class:`~repro.pci.header.PciEndpointFunction` holding the config
+  header, BARs and capability chain (register it with the PCI host to
+  make the device discoverable);
+* a **PIO slave port** accepting processor requests — the device
+  decodes the target BAR and dispatches to :meth:`mmio_read` /
+  :meth:`mmio_write` hooks;
+* a **DMA master port** for bus mastering (drive it through a
+  :class:`~repro.devices.dma.DmaEngine`);
+* a legacy INTx interrupt raised through the platform interrupt
+  controller at the line the enumeration software assigned.
+"""
+
+from typing import List, Optional
+
+from repro.mem.addr import AddrRange
+from repro.mem.packet import MemCmd, Packet
+from repro.mem.port import MasterPort, PacketQueue, SlavePort
+from repro.pci.header import Bar, PciEndpointFunction
+from repro.sim import ticks
+from repro.sim.simobject import SimObject, Simulator
+
+
+class PcieDevice(SimObject):
+    """Base class for endpoint device models.
+
+    Args:
+        function: the device's configuration-space function.
+        pio_latency: ticks from accepting an MMIO/PIO request to sending
+            its response.
+        pio_buffer: bounded in-flight PIO requests.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        function: PciEndpointFunction,
+        parent: Optional[SimObject] = None,
+        pio_latency: int = ticks.from_ns(30),
+        pio_buffer: int = 8,
+    ):
+        super().__init__(sim, name, parent)
+        self.function = function
+        self.pio_latency = pio_latency
+        self.intc = None  # wired by the system builder
+
+        self.pio_port = SlavePort(
+            self,
+            "pio",
+            recv_timing_req=self._recv_pio,
+            recv_resp_retry=lambda: self._pio_respq.retry(),
+        )
+        self.pio_port.get_ranges = self._pio_ranges
+        self.dma_port = MasterPort(
+            self,
+            "dma",
+            recv_timing_resp=self._recv_dma_response,
+            recv_req_retry=lambda: self._dma_queue.retry(),
+        )
+        self._pio_respq = PacketQueue(
+            self, "pio_respq", self.pio_port.send_timing_resp, pio_buffer
+        )
+        self._pio_respq.on_space_freed = self._maybe_retry_pio
+        self._dma_queue = PacketQueue(self, "dmaq", self.dma_port.send_timing_req, 64)
+        self._dma_queue.on_space_freed = self._pump_dma
+        # DMA completions dispatch by req_id to whoever issued them.
+        self._dma_waiters = {}
+        # Active DMA transfers poked whenever queue space frees (this is
+        # how posted transfers pace themselves without responses).
+        self._dma_pumps = []
+
+        self.mmio_reads = self.stats.scalar("mmio_reads")
+        self.msis_sent = self.stats.scalar("msis_sent", "MSI memory writes issued")
+        self.mmio_writes = self.stats.scalar("mmio_writes")
+        self.interrupts_raised = self.stats.scalar("interrupts_raised")
+
+    # -- discovery ------------------------------------------------------------
+    def _pio_ranges(self) -> List[AddrRange]:
+        """The device claims whatever its (enabled) BARs decode."""
+        return self.function.bar_ranges()
+
+    def locate_bar(self, addr: int):
+        """Return (bar_index, offset) for an address, or (None, None).
+
+        Honours the command register: with memory/I/O decode disabled
+        the device does not recognise the address (a request that still
+        reaches it through a stale window gets an all-ones response).
+        """
+        for index, bar in enumerate(self.function.bars):
+            rng = bar.range()
+            if rng is None or addr not in rng:
+                continue
+            enabled = self.function.io_enabled if bar.io else self.function.memory_enabled
+            if not enabled:
+                continue
+            return index, rng.offset(addr)
+        return None, None
+
+    # -- PIO path ---------------------------------------------------------------
+    def _recv_pio(self, pkt: Packet) -> bool:
+        if self._pio_respq.full:
+            return False
+        bar, offset = self.locate_bar(pkt.addr)
+        if bar is None:
+            # Claimed by a stale window: respond all-ones like absent
+            # config space rather than wedging the fabric.
+            data = b"\xff" * pkt.size if pkt.is_read else None
+            if pkt.needs_response:
+                self._pio_respq.push(pkt.make_response(data), self.pio_latency)
+            return True
+        if pkt.is_read:
+            self.mmio_reads.inc()
+            value = self.mmio_read(bar, offset, pkt.size)
+            data = (value & ((1 << (8 * pkt.size)) - 1)).to_bytes(pkt.size, "little")
+            self._pio_respq.push(pkt.make_response(data), self.pio_latency)
+        else:
+            self.mmio_writes.inc()
+            value = int.from_bytes(pkt.data or bytes(pkt.size), "little")
+            self.mmio_write(bar, offset, pkt.size, value)
+            if pkt.needs_response:
+                self._pio_respq.push(pkt.make_response(), self.pio_latency)
+        return True
+
+    def _maybe_retry_pio(self) -> None:
+        if self.pio_port.retry_owed:
+            self.pio_port.send_retry_req()
+
+    # -- register hooks (override in concrete devices) ------------------------------
+    def mmio_read(self, bar: int, offset: int, size: int) -> int:
+        """Read a device register.  Default: all zeros."""
+        return 0
+
+    def mmio_write(self, bar: int, offset: int, size: int, value: int) -> None:
+        """Write a device register.  Default: ignored."""
+
+    # -- DMA path ----------------------------------------------------------------
+    def dma_send(self, pkt: Packet, on_response) -> None:
+        """Issue a DMA request; ``on_response(resp)`` fires when (and
+        if) the response returns.  Pass None for posted requests.
+
+        Callers must respect :attr:`dma_space` — the engine's issue
+        window guarantees it."""
+        if self._dma_queue.full:
+            raise RuntimeError(f"{self.full_name}: DMA queue overrun")
+        if on_response is not None:
+            self._dma_waiters[pkt.req_id] = on_response
+        self._dma_queue.push(pkt)
+
+    @property
+    def dma_backlog(self) -> int:
+        return len(self._dma_queue)
+
+    @property
+    def dma_space(self) -> int:
+        return self._dma_queue.capacity - len(self._dma_queue)
+
+    def add_dma_pump(self, pump) -> None:
+        self._dma_pumps.append(pump)
+
+    def remove_dma_pump(self, pump) -> None:
+        self._dma_pumps.remove(pump)
+
+    def _pump_dma(self) -> None:
+        for pump in list(self._dma_pumps):
+            pump()
+
+    def _recv_dma_response(self, pkt: Packet) -> bool:
+        waiter = self._dma_waiters.pop(pkt.req_id, None)
+        if waiter is not None:
+            waiter(pkt)
+        return True
+
+    # -- interrupts -----------------------------------------------------------------
+    def raise_interrupt(self) -> None:
+        """Signal an interrupt: an MSI memory write when the function's
+        MSI capability is enabled, the legacy INTx wire otherwise.
+
+        MSI is the paper's future-work path — "a message is a posted
+        request that is mainly used for implementing message signaled
+        interrupts (MSI).  A device uses MSI to write a programmed value
+        to a specified address location in order to raise an interrupt."
+        The write travels the PCI-Express fabric like any other posted
+        request and lands on the platform's MSI doorbell.
+        """
+        self.interrupts_raised.inc()
+        if self._send_msi():
+            return
+        if self.intc is None:
+            raise RuntimeError(
+                f"{self.full_name} has no interrupt controller wired"
+            )
+        self.intc.raise_irq(self.function.interrupt_line)
+
+    def _send_msi(self) -> bool:
+        from repro.pci.capabilities import CAP_ID_MSI, MsiCapability
+
+        offset = self.function.find_capability(CAP_ID_MSI)
+        if offset is None:
+            return False
+        control = self.function.config_read(offset + MsiCapability.CONTROL, 2)
+        if not control & MsiCapability.ENABLE_BIT:
+            return False
+        address = self.function.config_read(offset + MsiCapability.ADDRESS, 4)
+        data = self.function.config_read(offset + MsiCapability.DATA, 2)
+        msi = Packet(
+            MemCmd.MESSAGE, address, 4,
+            data=data.to_bytes(4, "little"),
+            requestor=self.full_name,
+            create_tick=self.curtick,
+        )
+        self.msis_sent.inc()
+        self.dma_send(msi, None)
+        return True

@@ -1,0 +1,218 @@
+"""The IDE-like storage device.
+
+Stands in for gem5's IDE disk in the paper's evaluation, with the two
+properties the methodology depends on:
+
+* the internal medium imposes **no bandwidth limit** — each sector costs
+  a constant ``access_latency`` (1 µs in gem5) and nothing else, so the
+  PCI-Express interconnect is always the bottleneck;
+* DMA uses **no posted writes** — once a sector has been transmitted,
+  the responses for all of its write packets must return before the next
+  sector starts (``posted_writes=True`` flips this for the ablation).
+
+The register interface (BAR0, 4 KB MMIO) is a simplified bus-master DMA
+controller.  A driver programs a buffer address, an LBA and a sector
+count, then writes the command register; the device transfers sector by
+sector and raises its legacy interrupt when the command completes:
+
+====== ===========  =================================================
+offset name         meaning
+====== ===========  =================================================
+0x00   CMD          1 = READ_DMA, 2 = WRITE_DMA (starts the transfer)
+0x08   LBA          starting logical block
+0x10   COUNT        sectors to transfer
+0x18   BUF_ADDR     physical DMA buffer address
+0x20   STATUS       bit0 busy, bit1 irq pending, bit2 error
+0x28   IRQ_CLEAR    write 1 to acknowledge the interrupt
+====== ===========  =================================================
+"""
+
+from typing import Dict, Optional
+
+from repro.devices.base import PcieDevice
+from repro.devices.dma import DmaEngine
+from repro.pci.capabilities import (
+    MsiCapability,
+    MsixCapability,
+    PcieCapability,
+    PciePortType,
+    PowerManagementCapability,
+)
+from repro.pci.header import Bar, PciEndpointFunction
+from repro.sim import ticks
+from repro.sim.simobject import SimObject, Simulator
+
+REG_CMD = 0x00
+REG_LBA = 0x08
+REG_COUNT = 0x10
+REG_BUF_ADDR = 0x18
+REG_STATUS = 0x20
+REG_IRQ_CLEAR = 0x28
+
+CMD_READ_DMA = 1
+CMD_WRITE_DMA = 2
+
+STATUS_BUSY = 1 << 0
+STATUS_IRQ = 1 << 1
+STATUS_ERROR = 1 << 2
+
+IDE_VENDOR_ID = 0x8086
+IDE_DEVICE_ID = 0x7111  # PIIX4 IDE, the identity gem5's IDE controller uses
+
+
+def make_disk_function(msi_functional: bool = False) -> PciEndpointFunction:
+    """Config function for the disk: one 4 KB memory BAR, the paper's
+    capability chain with everything but PCI-Express disabled (pass
+    ``msi_functional=True`` for the MSI extension)."""
+    fn = PciEndpointFunction(
+        IDE_VENDOR_ID,
+        IDE_DEVICE_ID,
+        bars=[Bar(4096)],
+        class_code=0x010185,  # mass storage, IDE, bus-master capable
+    )
+    fn.add_capability(PowerManagementCapability())
+    fn.add_capability(MsiCapability(functional=msi_functional))
+    fn.add_capability(PcieCapability(PciePortType.ENDPOINT))
+    fn.add_capability(MsixCapability())
+    return fn
+
+
+class IdeDisk(PcieDevice):
+    """The storage device driven by the ``dd`` experiments.
+
+    Args:
+        sector_size: bytes per sector (the paper transfers 4 KB
+            sectors).
+        access_latency: constant internal medium latency per sector
+            (gem5's IDE disk: 1 µs).
+        capacity_sectors: disk size.
+        posted_writes: run DMA writes posted (ablation; the paper's
+            model does not support posted writes).
+        dma_outstanding: in-flight DMA packets within one sector.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "disk",
+        parent: Optional[SimObject] = None,
+        sector_size: int = 4096,
+        access_latency: int = ticks.from_us(1),
+        capacity_sectors: int = 1 << 30,
+        posted_writes: bool = False,
+        dma_outstanding: int = 64,
+        pio_latency: int = ticks.from_ns(30),
+        msi_functional: bool = False,
+    ):
+        super().__init__(sim, name, make_disk_function(msi_functional), parent,
+                         pio_latency=pio_latency)
+        self.sector_size = sector_size
+        self.access_latency = access_latency
+        self.capacity_sectors = capacity_sectors
+        self.posted_writes = posted_writes
+        self.dma = DmaEngine(sim, "dma_engine", self,
+                             max_outstanding=dma_outstanding)
+
+        # Register file.
+        self._regs: Dict[int, int] = {
+            REG_CMD: 0, REG_LBA: 0, REG_COUNT: 0, REG_BUF_ADDR: 0, REG_STATUS: 0,
+        }
+        # In-memory backing store for written sectors (reads of
+        # never-written sectors return zeros).
+        self._store: Dict[int, bytes] = {}
+        self._sectors_remaining = 0
+        self._current_lba = 0
+        self._current_buf = 0
+        self._is_write_command = False
+
+        self.sectors_transferred = self.stats.scalar("sectors_transferred")
+        self.commands_completed = self.stats.scalar("commands_completed")
+        self.bytes_transferred = self.stats.scalar("bytes_transferred")
+        # Device-level transfer time, excluding OS/driver overheads —
+        # what the paper quotes as "3.072 Gbps over our PCI-Express
+        # link" for Gen 2 x1.
+        self.sector_transfer_ticks = self.stats.distribution(
+            "sector_transfer_ticks", "DMA time per sector (barrier to barrier)"
+        )
+
+    # -- register interface --------------------------------------------------
+    def mmio_read(self, bar: int, offset: int, size: int) -> int:
+        return self._regs.get(offset, 0)
+
+    def mmio_write(self, bar: int, offset: int, size: int, value: int) -> None:
+        if offset == REG_IRQ_CLEAR:
+            self._regs[REG_STATUS] &= ~STATUS_IRQ
+            return
+        if offset == REG_CMD:
+            self._start_command(value)
+            return
+        if offset in self._regs:
+            self._regs[offset] = value
+
+    # -- command execution -----------------------------------------------------
+    def _start_command(self, command: int) -> None:
+        if self._regs[REG_STATUS] & STATUS_BUSY:
+            self._regs[REG_STATUS] |= STATUS_ERROR
+            return
+        if command not in (CMD_READ_DMA, CMD_WRITE_DMA):
+            self._regs[REG_STATUS] |= STATUS_ERROR
+            self.raise_interrupt()
+            return
+        count = self._regs[REG_COUNT]
+        lba = self._regs[REG_LBA]
+        if count < 1 or lba + count > self.capacity_sectors:
+            self._regs[REG_STATUS] |= STATUS_ERROR
+            self.raise_interrupt()
+            return
+        self._regs[REG_STATUS] = STATUS_BUSY
+        self._is_write_command = command == CMD_WRITE_DMA
+        self._sectors_remaining = count
+        self._current_lba = lba
+        self._current_buf = self._regs[REG_BUF_ADDR]
+        self._next_sector()
+
+    def _next_sector(self) -> None:
+        if self._sectors_remaining == 0:
+            self._complete_command()
+            return
+        # Constant-latency medium access, then the DMA burst.
+        self.schedule(self.access_latency, self._transfer_sector,
+                      name="sector_access")
+
+    def _transfer_sector(self) -> None:
+        start = self.curtick
+        if self._is_write_command:
+            # Host -> disk: DMA-read the buffer from memory.
+            transfer = self.dma.read(self._current_buf, self.sector_size)
+        else:
+            # Disk -> host: DMA-write the sector into memory.  The
+            # paper's model does not support posted writes: the barrier
+            # below waits for every write response.
+            transfer = self.dma.write(self._current_buf, self.sector_size,
+                                      posted=self.posted_writes)
+        transfer.on_complete(lambda __: self._sector_done(start))
+
+    def _sector_done(self, start_tick: int) -> None:
+        self.sector_transfer_ticks.sample(self.curtick - start_tick)
+        self.sectors_transferred.inc()
+        self.bytes_transferred.inc(self.sector_size)
+        if self._is_write_command:
+            self._store[self._current_lba] = bytes(self.sector_size)
+        self._sectors_remaining -= 1
+        self._current_lba += 1
+        self._current_buf += self.sector_size
+        self._next_sector()
+
+    def _complete_command(self) -> None:
+        self._regs[REG_STATUS] = STATUS_IRQ  # busy clear, irq pending
+        self.commands_completed.inc()
+        self.raise_interrupt()
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return bool(self._regs[REG_STATUS] & STATUS_BUSY)
+
+    @property
+    def irq_pending(self) -> bool:
+        return bool(self._regs[REG_STATUS] & STATUS_IRQ)

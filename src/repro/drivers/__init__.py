@@ -1,0 +1,15 @@
+"""Device-driver models.
+
+Drivers expose a *module device table* of (vendor, device) pairs; the
+kernel matches discovered endpoints against it and runs the winning
+driver's probe, exactly as Linux binds ``e1000e`` to device id 0x10D3 in
+the paper.  Driver code runs as kernel processes and touches hardware
+only through timed MMIO — so driver overhead shows up in measured I/O
+latency the way it does on the paper's simulated machine.
+"""
+
+from repro.drivers.base import Driver, DriverError
+from repro.drivers.ide import IdeDiskDriver
+from repro.drivers.e1000e import E1000eDriver
+
+__all__ = ["Driver", "DriverError", "IdeDiskDriver", "E1000eDriver"]

@@ -1,0 +1,123 @@
+"""Driver base class and binding machinery."""
+
+from typing import List, Optional, Tuple
+
+from repro.pci.capabilities import (CAP_ID_MSI, CAP_ID_MSIX, CAP_ID_PCIE,
+                                     MsiCapability)
+from repro.pci.enumeration import FoundDevice
+
+
+class DriverError(RuntimeError):
+    """Probe or request-level driver failure."""
+
+
+class Driver:
+    """Base class for device drivers.
+
+    Subclasses set :attr:`device_table` and implement :meth:`probe`.
+    """
+
+    #: The module device table: (vendor_id, device_id) pairs this driver
+    #: claims.
+    device_table: List[Tuple[int, int]] = []
+
+    def __init__(self):
+        self.kernel = None
+        self.found: Optional[FoundDevice] = None
+        self.device = None  # the hardware model (functional side-channel)
+        self.bound = False
+
+    # -- binding ------------------------------------------------------------
+    def matches(self, node: FoundDevice) -> bool:
+        return (node.vendor_id, node.device_id) in self.device_table
+
+    def bind(self, kernel, node: FoundDevice, device_model) -> None:
+        """Called by the kernel when the module device table matches."""
+        if self.bound:
+            raise DriverError(f"{type(self).__name__} is already bound")
+        self.kernel = kernel
+        self.found = node
+        self.device = device_model
+        self.probe()
+        self.bound = True
+
+    def probe(self) -> None:
+        raise NotImplementedError
+
+    # -- common helpers -----------------------------------------------------------
+    @property
+    def host(self):
+        return self.kernel.enumerator.host
+
+    @property
+    def cpu(self):
+        return self.kernel.cpu
+
+    def config_read(self, offset: int, size: int = 4) -> int:
+        return self.host.config_read(*self.found.bdf, offset, size)
+
+    def config_write(self, offset: int, value: int, size: int = 4) -> None:
+        self.host.config_write(*self.found.bdf, offset, value, size)
+
+    def bar_base(self, index: int) -> int:
+        for bar in self.found.bars:
+            if bar.index == index:
+                if bar.assigned is None:
+                    raise DriverError(f"BAR{index} was never assigned an address")
+                return bar.assigned.start
+        raise DriverError(f"device has no BAR{index}")
+
+    def choose_interrupt_mode(self) -> str:
+        """Prefer MSI-X, then MSI, falling back to legacy INTx.
+
+        The paper's capability structures present MSI and MSI-X with
+        read-only-zero enable bits, so this always lands on "legacy"
+        there — but the selection logic is real: the driver attempts to
+        enable each mechanism and checks whether the bit stuck.
+        """
+        for cap_id, control_bit in ((CAP_ID_MSIX, 1 << 15), (CAP_ID_MSI, 1 << 0)):
+            offset = self._find_cap(cap_id)
+            if offset is None:
+                continue
+            control = self.config_read(offset + 2, 2)
+            self.config_write(offset + 2, control | control_bit, 2)
+            if self.config_read(offset + 2, 2) & control_bit:
+                return "msix" if cap_id == CAP_ID_MSIX else "msi"
+        return "legacy"
+
+    def _find_cap(self, cap_id: int) -> Optional[int]:
+        for found_id, offset in self.found.capabilities:
+            if found_id == cap_id:
+                return offset
+        return None
+
+    def program_msi(self, vector: int) -> None:
+        """Point the device's (enabled) MSI capability at the platform
+        doorbell with ``vector`` as the message data."""
+        if self.kernel.msi_target_addr is None:
+            raise DriverError("platform has no MSI doorbell")
+        offset = self._find_cap(CAP_ID_MSI)
+        if offset is None:
+            raise DriverError("device has no MSI capability")
+        self.config_write(offset + MsiCapability.ADDRESS,
+                          self.kernel.msi_target_addr, 4)
+        self.config_write(offset + MsiCapability.DATA, vector, 2)
+
+    def register_interrupt(self) -> None:
+        """Common probe tail: program MSI when it stuck, then hook the
+        handler to the vector/line either way."""
+        vector = self.found.interrupt_line
+        if self.interrupt_mode == "msi":
+            self.program_msi(vector)
+        self.kernel.intc.register(vector, self._irq_handler)
+
+    def _irq_handler(self):
+        raise NotImplementedError
+
+    def require_pcie_capability(self) -> int:
+        offset = self._find_cap(CAP_ID_PCIE)
+        if offset is None:
+            raise DriverError(
+                f"{type(self).__name__}: device advertises no PCI-Express capability"
+            )
+        return offset

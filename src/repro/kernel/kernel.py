@@ -1,0 +1,116 @@
+"""The kernel facade.
+
+:class:`OsKernel` ties the software side together: the processor, the
+interrupt controller, the block layer, PCI enumeration at boot, and
+driver binding through module device tables — the same sequence a Linux
+kernel performs on the paper's simulated machine.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.kernel.blockio import BlockLayer
+from repro.kernel.interrupts import InterruptController
+from repro.kernel.processor import Processor
+from repro.pci.enumeration import Enumerator, FoundDevice
+from repro.sim import ticks
+from repro.sim.process import Process
+from repro.sim.simobject import SimObject, Simulator
+
+
+class KernelConfig:
+    """Software-overhead knobs, grouped so system builders can pass one
+    object around (all values in ticks)."""
+
+    def __init__(
+        self,
+        irq_dispatch_latency: int = ticks.from_ns(500),
+        block_submit_overhead: int = ticks.from_us(4),
+        block_complete_overhead: int = ticks.from_us(3),
+        block_per_sector_overhead: int = ticks.from_us(1.0),
+        max_sectors_per_request: int = 32,
+    ):
+        self.irq_dispatch_latency = irq_dispatch_latency
+        self.block_submit_overhead = block_submit_overhead
+        self.block_complete_overhead = block_complete_overhead
+        self.block_per_sector_overhead = block_per_sector_overhead
+        self.max_sectors_per_request = max_sectors_per_request
+
+
+class OsKernel(SimObject):
+    """The operating system: processor + interrupts + block layer +
+    enumeration + driver binding."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "kernel",
+        parent: Optional[SimObject] = None,
+        config: Optional[KernelConfig] = None,
+    ):
+        super().__init__(sim, name, parent)
+        self.config = config or KernelConfig()
+        self.cpu = Processor(sim, "cpu", parent=self)
+        self.intc = InterruptController(
+            sim, "intc", parent=self,
+            dispatch_latency=self.config.irq_dispatch_latency,
+        )
+        self.block_layer = BlockLayer(
+            sim, "block_layer", parent=self,
+            max_sectors_per_request=self.config.max_sectors_per_request,
+            submit_overhead=self.config.block_submit_overhead,
+            complete_overhead=self.config.block_complete_overhead,
+            per_sector_overhead=self.config.block_per_sector_overhead,
+        )
+        self.enumerator: Optional[Enumerator] = None
+        # Set by the system builder when the platform has an MSI
+        # doorbell; drivers program it into MSI-capable devices.
+        self.msi_target_addr: Optional[int] = None
+        self.drivers: List = []
+        self._process_count = 0
+
+    # -- boot ----------------------------------------------------------------
+    def boot(self, host, mem_window=None, io_window=None) -> List[FoundDevice]:
+        """Enumerate the PCI hierarchy (the functional part of boot)."""
+        kwargs = {}
+        if mem_window is not None:
+            kwargs["mem_window"] = mem_window
+        if io_window is not None:
+            kwargs["io_window"] = io_window
+        self.enumerator = Enumerator(host, **kwargs)
+        return self.enumerator.enumerate()
+
+    def bind_drivers(self, drivers: List, device_map: Dict) -> List:
+        """Match discovered endpoints against each driver's module
+        device table and run the winning driver's probe.
+
+        Args:
+            drivers: driver instances, in registration order (first
+                match wins, like kernel module load order).
+            device_map: maps a discovered function's ``(bus, device,
+                function)`` to the device *model* so the probe can reach
+                its functional side-channels.
+
+        Returns the list of (driver, FoundDevice) bindings made.
+        """
+        if self.enumerator is None:
+            raise RuntimeError("boot() must run before bind_drivers()")
+        bindings = []
+        for node in self.enumerator.all_devices():
+            if node.is_bridge:
+                continue
+            for driver in drivers:
+                if not driver.matches(node):
+                    continue
+                device_model = device_map.get(node.bdf)
+                driver.bind(self, node, device_model)
+                bindings.append((driver, node))
+                break
+        self.drivers = [driver for driver, __ in bindings]
+        return bindings
+
+    # -- process management --------------------------------------------------------
+    def spawn(self, name: str, generator, start_delay: int = 0) -> Process:
+        """Run a software activity as a kernel process."""
+        self._process_count += 1
+        return Process(self.sim, f"{name}_{self._process_count}", generator,
+                       parent=self, start_delay=start_delay)

@@ -1,0 +1,38 @@
+"""Memory-system substrate.
+
+The Python stand-in for gem5's memory system: packets
+(:mod:`repro.mem.packet`), the timing-port protocol with retries
+(:mod:`repro.mem.port`), address ranges (:mod:`repro.mem.addr`),
+crossbars (:mod:`repro.mem.xbar`), the MemBus↔IOBus bridge
+(:mod:`repro.mem.bridge`), a DMA-coherency IOCache
+(:mod:`repro.mem.iocache`) and a simple DRAM controller
+(:mod:`repro.mem.dram`).
+
+Everything the paper's PCI-Express model touches in gem5 is reproduced
+here with the same semantics — in particular the *retry* flow control
+(a receiver may refuse a packet and later call back with a retry),
+which is what makes buffer backpressure, and therefore the paper's
+x8-link collapse, emerge naturally.
+"""
+
+from repro.mem.addr import AddrRange
+from repro.mem.packet import MemCmd, Packet
+from repro.mem.port import MasterPort, SlavePort, PacketQueue
+from repro.mem.xbar import NoncoherentXBar, CoherentXBar
+from repro.mem.bridge import Bridge
+from repro.mem.dram import SimpleMemory
+from repro.mem.iocache import IOCache
+
+__all__ = [
+    "AddrRange",
+    "MemCmd",
+    "Packet",
+    "MasterPort",
+    "SlavePort",
+    "PacketQueue",
+    "NoncoherentXBar",
+    "CoherentXBar",
+    "Bridge",
+    "SimpleMemory",
+    "IOCache",
+]

@@ -1,0 +1,215 @@
+"""Memory packets.
+
+gem5 represents every memory/I/O transaction as a packet; the paper's
+PCI-Express model reuses those packets as its transaction-layer packets
+(TLPs) rather than defining a new type, and we do the same.  A
+:class:`Packet` carries a command, address, size, optional payload
+bytes, a requestor identity, and — added by the paper — a ``pci_bus_num``
+field (initialised to −1) used by the root complex and switches to route
+responses back to the requesting PCI bus.
+"""
+
+import enum
+import itertools
+from typing import Optional
+
+
+class MemCmd(enum.Enum):
+    """Packet command.  Read requests and write responses carry no
+    payload; write requests and read responses carry ``size`` bytes."""
+
+    READ_REQ = enum.auto()
+    READ_RESP = enum.auto()
+    WRITE_REQ = enum.auto()
+    WRITE_RESP = enum.auto()
+    # Configuration-space accesses (ECAM window).
+    CONFIG_READ_REQ = enum.auto()
+    CONFIG_READ_RESP = enum.auto()
+    CONFIG_WRITE_REQ = enum.auto()
+    CONFIG_WRITE_RESP = enum.auto()
+    # A posted message (e.g. an MSI write): a request with no response.
+    MESSAGE = enum.auto()
+
+    @property
+    def is_request(self) -> bool:
+        return self in _REQUESTS or self is MemCmd.MESSAGE
+
+    @property
+    def is_response(self) -> bool:
+        return self in _RESPONSES
+
+    @property
+    def is_read(self) -> bool:
+        return self in (
+            MemCmd.READ_REQ,
+            MemCmd.READ_RESP,
+            MemCmd.CONFIG_READ_REQ,
+            MemCmd.CONFIG_READ_RESP,
+        )
+
+    @property
+    def is_write(self) -> bool:
+        return self in (
+            MemCmd.WRITE_REQ,
+            MemCmd.WRITE_RESP,
+            MemCmd.CONFIG_WRITE_REQ,
+            MemCmd.CONFIG_WRITE_RESP,
+            MemCmd.MESSAGE,
+        )
+
+    @property
+    def is_config(self) -> bool:
+        return self in (
+            MemCmd.CONFIG_READ_REQ,
+            MemCmd.CONFIG_READ_RESP,
+            MemCmd.CONFIG_WRITE_REQ,
+            MemCmd.CONFIG_WRITE_RESP,
+        )
+
+    @property
+    def needs_response(self) -> bool:
+        """True for non-posted requests."""
+        return self in _REQUESTS
+
+    @property
+    def response_command(self) -> "MemCmd":
+        try:
+            return _RESPONSE_FOR[self]
+        except KeyError:
+            raise ValueError(f"{self} has no response command") from None
+
+
+_RESPONSE_FOR = {
+    MemCmd.READ_REQ: MemCmd.READ_RESP,
+    MemCmd.WRITE_REQ: MemCmd.WRITE_RESP,
+    MemCmd.CONFIG_READ_REQ: MemCmd.CONFIG_READ_RESP,
+    MemCmd.CONFIG_WRITE_REQ: MemCmd.CONFIG_WRITE_RESP,
+}
+_REQUESTS = frozenset(_RESPONSE_FOR)
+_RESPONSES = frozenset(_RESPONSE_FOR.values())
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """A memory/I/O transaction travelling through the system.
+
+    Attributes:
+        cmd: the :class:`MemCmd`.
+        addr: target physical address.
+        size: transfer size in bytes.
+        data: payload bytes, present only on packets whose command
+            carries data.
+        requestor: name of the originating component (for statistics and
+            debugging; PCI-Express completers route responses by
+            ``pci_bus_num``, not by this).
+        req_id: transaction identity.  A response produced by
+            :meth:`make_response` keeps its request's ``req_id``, which
+            components use to correlate the two.
+        pci_bus_num: the paper's addition to the gem5 packet class —
+            the secondary bus number of the first PCI-Express port the
+            request entered, −1 until stamped.
+        posted: when True the request expects no response (the paper's
+            model does *not* post writes; the flag exists for the
+            posted-write ablation and MSI messages).
+    """
+
+    __slots__ = (
+        "cmd",
+        "addr",
+        "size",
+        "data",
+        "requestor",
+        "req_id",
+        "pci_bus_num",
+        "posted",
+        "create_tick",
+        "annotations",
+    )
+
+    def __init__(
+        self,
+        cmd: MemCmd,
+        addr: int,
+        size: int,
+        data: Optional[bytes] = None,
+        requestor: str = "",
+        req_id: Optional[int] = None,
+        create_tick: int = 0,
+    ):
+        if size < 0:
+            raise ValueError(f"packet size must be non-negative, got {size}")
+        if cmd is MemCmd.WRITE_REQ and data is not None and len(data) != size:
+            raise ValueError(
+                f"write payload length {len(data)} does not match size {size}"
+            )
+        self.cmd = cmd
+        self.addr = addr
+        self.size = size
+        self.data = data
+        self.requestor = requestor
+        self.req_id = next(_packet_ids) if req_id is None else req_id
+        self.pci_bus_num = -1
+        self.posted = cmd is MemCmd.MESSAGE
+        self.create_tick = create_tick
+        # Free-form per-component scratch space (e.g. measured latencies).
+        self.annotations: dict = {}
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def is_request(self) -> bool:
+        return self.cmd.is_request
+
+    @property
+    def is_response(self) -> bool:
+        return self.cmd.is_response
+
+    @property
+    def is_read(self) -> bool:
+        return self.cmd.is_read
+
+    @property
+    def is_write(self) -> bool:
+        return self.cmd.is_write
+
+    @property
+    def needs_response(self) -> bool:
+        return self.cmd.needs_response and not self.posted
+
+    @property
+    def payload_size(self) -> int:
+        """Bytes of payload this packet carries on a wire.
+
+        Per the paper: "The maximum TLP payload size is 0 for a read
+        request or a write response and is cache line size for a write
+        request or read response."
+        """
+        if self.cmd in (MemCmd.WRITE_REQ, MemCmd.READ_RESP, MemCmd.MESSAGE):
+            return self.size
+        if self.cmd in (MemCmd.CONFIG_WRITE_REQ, MemCmd.CONFIG_READ_RESP):
+            return self.size
+        return 0
+
+    def make_response(self, data: Optional[bytes] = None) -> "Packet":
+        """Build the matching response packet (same id, same bus number)."""
+        if not self.needs_response:
+            raise ValueError(f"{self} does not need a response")
+        if self.cmd.is_read and data is None:
+            data = bytes(self.size)
+        response = Packet(
+            cmd=self.cmd.response_command,
+            addr=self.addr,
+            size=self.size,
+            data=data,
+            requestor=self.requestor,
+            req_id=self.req_id,
+            create_tick=self.create_tick,
+        )
+        response.pci_bus_num = self.pci_bus_num
+        return response
+
+    def __repr__(self) -> str:
+        return (
+            f"<Packet #{self.req_id} {self.cmd.name} addr={self.addr:#x} "
+            f"size={self.size} bus={self.pci_bus_num}>"
+        )

@@ -1,0 +1,296 @@
+"""Timing ports and the retry protocol.
+
+gem5 components exchange packets through paired master/slave ports:
+
+* a **master port** sends requests and receives responses;
+* a **slave port** receives requests and sends responses.
+
+Transfers use the *timing* protocol: ``send_timing_req``/``send_timing_resp``
+hand the packet to the peer, whose handler returns ``True`` if accepted.
+A ``False`` means "busy": the sender must hold the packet and wait for
+the peer to call back with a retry (``send_retry_req``/``send_retry_resp``),
+after which the sender tries again.  All buffer backpressure in the
+simulated system — including the PCI-Express port-buffer and replay
+behaviour studied in the paper — flows through this mechanism.
+
+Handlers are supplied as callables at construction (explicit wiring
+beats name-magic when a component owns several ports of the same kind).
+
+:class:`PacketQueue` is the shared building block for bounded,
+latency-tagged output buffers: the gem5 bridge, the root complex and the
+switch ports are all queues of this kind.
+"""
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+from repro.mem.addr import AddrRange
+from repro.mem.packet import Packet
+from repro.sim.simobject import SimObject
+from repro.sim.stats import StatGroup
+
+
+class PortError(RuntimeError):
+    """Protocol violation on a port (unbound peer, double retry, ...)."""
+
+
+class Port:
+    """Base for master/slave ports: a named endpoint bound to a peer."""
+
+    def __init__(self, owner: SimObject, name: str):
+        self.owner = owner
+        self.name = name
+        self.peer: Optional["Port"] = None
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.owner.full_name}.{self.name}"
+
+    @property
+    def bound(self) -> bool:
+        return self.peer is not None
+
+    def _bind_peer(self, peer: "Port") -> None:
+        if self.peer is not None:
+            raise PortError(f"{self.full_name} is already bound to {self.peer.full_name}")
+        self.peer = peer
+
+    def __repr__(self) -> str:
+        peer = self.peer.full_name if self.peer else None
+        return f"<{type(self).__name__} {self.full_name} peer={peer}>"
+
+
+def _unwired(kind: str, port: Port) -> Callable:
+    def handler(*_args, **_kwargs):
+        raise PortError(f"{port.full_name} has no {kind} handler wired")
+
+    return handler
+
+
+class MasterPort(Port):
+    """Sends requests downstream; receives responses.
+
+    Args:
+        recv_timing_resp: ``f(pkt) -> bool`` called when the peer slave
+            sends a response here.
+        recv_req_retry: ``f()`` called when the peer slave, having
+            previously refused a request, can accept again.
+    """
+
+    def __init__(
+        self,
+        owner: SimObject,
+        name: str,
+        recv_timing_resp: Optional[Callable[[Packet], bool]] = None,
+        recv_req_retry: Optional[Callable[[], None]] = None,
+    ):
+        super().__init__(owner, name)
+        self.recv_timing_resp = recv_timing_resp or _unwired("recv_timing_resp", self)
+        self.recv_req_retry = recv_req_retry or _unwired("recv_req_retry", self)
+        # True while the peer owes this port a request retry.
+        self.waiting_for_req_retry = False
+        # True while this port owes the peer a response retry.
+        self._resp_retry_owed = False
+
+    def bind(self, slave: "SlavePort") -> None:
+        """Bind this master port to a slave port (and vice versa)."""
+        if not isinstance(slave, SlavePort):
+            raise TypeError(f"can only bind MasterPort to SlavePort, got {slave!r}")
+        self._bind_peer(slave)
+        slave._bind_peer(self)
+
+    # -- sending requests ----------------------------------------------------
+    def send_timing_req(self, pkt: Packet) -> bool:
+        if self.peer is None:
+            raise PortError(f"{self.full_name} is unbound")
+        if not pkt.is_request:
+            raise PortError(f"{self.full_name} asked to send non-request {pkt!r}")
+        accepted = self.peer.recv_timing_req(pkt)
+        if not accepted:
+            self.waiting_for_req_retry = True
+            self.peer._req_retry_owed = True
+        return accepted
+
+    # -- response-side flow control -------------------------------------------
+    def _handle_resp(self, pkt: Packet) -> bool:
+        accepted = self.recv_timing_resp(pkt)
+        if not accepted:
+            self._resp_retry_owed = True
+        return accepted
+
+    def send_retry_resp(self) -> None:
+        """Tell the peer slave to retry a previously-refused response."""
+        if self.peer is None:
+            raise PortError(f"{self.full_name} is unbound")
+        if not self._resp_retry_owed:
+            raise PortError(f"{self.full_name} owes no response retry")
+        self._resp_retry_owed = False
+        self.peer.recv_resp_retry()
+
+
+class SlavePort(Port):
+    """Receives requests; sends responses upstream.
+
+    Args:
+        recv_timing_req: ``f(pkt) -> bool`` called when the peer master
+            sends a request here.
+        recv_resp_retry: ``f()`` called when the peer master, having
+            previously refused a response, can accept again.
+        ranges: address ranges this port claims (used by crossbars when
+            routing; may be empty for point-to-point wiring).
+    """
+
+    def __init__(
+        self,
+        owner: SimObject,
+        name: str,
+        recv_timing_req: Optional[Callable[[Packet], bool]] = None,
+        recv_resp_retry: Optional[Callable[[], None]] = None,
+        ranges: Optional[List[AddrRange]] = None,
+    ):
+        super().__init__(owner, name)
+        self.recv_timing_req = recv_timing_req or _unwired("recv_timing_req", self)
+        self.recv_resp_retry = recv_resp_retry or _unwired("recv_resp_retry", self)
+        self._ranges: List[AddrRange] = list(ranges or [])
+        # True while the peer owes this port a response retry.
+        self.waiting_for_resp_retry = False
+        # True while this port owes the peer a request retry.
+        self._req_retry_owed = False
+
+    def bind(self, master: MasterPort) -> None:
+        master.bind(self)
+
+    # -- address ranges --------------------------------------------------------
+    def get_ranges(self) -> List[AddrRange]:
+        """Address ranges claimed by the component behind this port.
+
+        Components with dynamic ranges (PCI bridges whose windows the
+        enumeration software programs at boot) override or replace this.
+        """
+        return list(self._ranges)
+
+    def set_ranges(self, ranges: List[AddrRange]) -> None:
+        self._ranges = list(ranges)
+
+    # -- sending responses -------------------------------------------------------
+    def send_timing_resp(self, pkt: Packet) -> bool:
+        if self.peer is None:
+            raise PortError(f"{self.full_name} is unbound")
+        if not pkt.is_response:
+            raise PortError(f"{self.full_name} asked to send non-response {pkt!r}")
+        accepted = self.peer._handle_resp(pkt)
+        if not accepted:
+            self.waiting_for_resp_retry = True
+        return accepted
+
+    # -- request-side flow control --------------------------------------------
+    def send_retry_req(self) -> None:
+        """Tell the peer master to retry a previously-refused request."""
+        if self.peer is None:
+            raise PortError(f"{self.full_name} is unbound")
+        if not self._req_retry_owed:
+            raise PortError(f"{self.full_name} owes no request retry")
+        self._req_retry_owed = False
+        self.peer.waiting_for_req_retry = False
+        self.peer.recv_req_retry()
+
+    @property
+    def retry_owed(self) -> bool:
+        return self._req_retry_owed
+
+
+class PacketQueue:
+    """A bounded FIFO that drains packets into a send function.
+
+    Each entry is tagged with a *ready tick* — the earliest time it may
+    be sent — which is how fixed component latencies (bridge delay,
+    root-complex processing, switch store-and-forward) are modelled.
+    When the send function refuses (peer busy), draining pauses until
+    :meth:`retry` is called.
+
+    ``on_space_freed`` fires whenever an entry leaves the queue; owners
+    use it to issue upstream retries after having refused a packet
+    because the queue was full.
+    """
+
+    def __init__(
+        self,
+        owner: SimObject,
+        name: str,
+        send_fn: Callable[[Packet], bool],
+        capacity: int,
+    ):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.owner = owner
+        self.name = name
+        self.send_fn = send_fn
+        self.capacity = capacity
+        self._entries: Deque[Tuple[int, Packet]] = deque()
+        self._waiting_retry = False
+        self._drain_scheduled = False
+        self.on_space_freed: Optional[Callable[[], None]] = None
+        # Per-packet variant of on_space_freed, called with the packet
+        # that just left the queue (for owners tracking slot accounting
+        # by packet identity).
+        self.on_packet_sent: Optional[Callable[[Packet], None]] = None
+        # Statistics.
+        self.stats = owner.stats.add_child(StatGroup(name))
+        self.sent = self.stats.scalar("sent", "packets drained from this queue")
+        self.refused = self.stats.scalar("refused", "push attempts refused because full")
+        self.occupancy = self.stats.average("occupancy", "queue length sampled at push")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    def push(self, pkt: Packet, delay: int = 0) -> bool:
+        """Append ``pkt``, sendable ``delay`` ticks from now.
+
+        Returns False (and drops nothing) when the queue is full.
+        """
+        if self.full:
+            self.refused.inc()
+            return False
+        self.occupancy.sample(len(self._entries))
+        ready = self.owner.curtick + delay
+        self._entries.append((ready, pkt))
+        self._schedule_drain()
+        return True
+
+    def retry(self) -> None:
+        """The peer can accept again: resume draining."""
+        self._waiting_retry = False
+        self._schedule_drain()
+
+    def _schedule_drain(self) -> None:
+        if self._drain_scheduled or self._waiting_retry or not self._entries:
+            return
+        ready, __ = self._entries[0]
+        delay = max(0, ready - self.owner.curtick)
+        self._drain_scheduled = True
+        self.owner.schedule(delay, self._drain, name=f"{self.name}.drain")
+
+    def _drain(self) -> None:
+        self._drain_scheduled = False
+        while self._entries and not self._waiting_retry:
+            ready, pkt = self._entries[0]
+            if ready > self.owner.curtick:
+                self._schedule_drain()
+                return
+            if not self.send_fn(pkt):
+                self._waiting_retry = True
+                return
+            self._entries.popleft()
+            self.sent.inc()
+            if self.on_packet_sent is not None:
+                self.on_packet_sent(pkt)
+            if self.on_space_freed is not None:
+                self.on_space_freed()

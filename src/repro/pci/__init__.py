@@ -1,0 +1,48 @@
+"""PCI / PCI-Express configuration machinery.
+
+Everything the enumeration software and device drivers touch:
+
+* :mod:`repro.pci.config` — the per-function 4 KB configuration space
+  with byte-granular write masks;
+* :mod:`repro.pci.header` — type-0 (endpoint) and type-1 (bridge)
+  configuration headers, including BAR size-probing semantics;
+* :mod:`repro.pci.capabilities` — PM, MSI, MSI-X and PCI-Express
+  capability structures chained through the capability pointer;
+* :mod:`repro.pci.host` — gem5's PCI Host: the ECAM window owner that
+  functionally services configuration accesses;
+* :mod:`repro.pci.enumeration` — the BIOS/kernel enumeration software:
+  depth-first bus scan, bus-number assignment, BAR sizing and
+  allocation, bridge-window programming;
+* :mod:`repro.pci.bus` — a classic shared PCI bus model (Section II
+  background; used as an ablation baseline).
+"""
+
+from repro.pci.config import ConfigSpace
+from repro.pci.header import Bar, PciFunction, PciBridgeFunction, PciEndpointFunction
+from repro.pci.capabilities import (
+    Capability,
+    PowerManagementCapability,
+    MsiCapability,
+    MsixCapability,
+    PcieCapability,
+    PciePortType,
+)
+from repro.pci.host import PciHost
+from repro.pci.enumeration import Enumerator, EnumerationError
+
+__all__ = [
+    "ConfigSpace",
+    "Bar",
+    "PciFunction",
+    "PciBridgeFunction",
+    "PciEndpointFunction",
+    "Capability",
+    "PowerManagementCapability",
+    "MsiCapability",
+    "MsixCapability",
+    "PcieCapability",
+    "PciePortType",
+    "PciHost",
+    "Enumerator",
+    "EnumerationError",
+]

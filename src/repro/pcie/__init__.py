@@ -1,0 +1,51 @@
+"""The PCI-Express interconnect model — the paper's core contribution.
+
+* :mod:`repro.pcie.timing` — generations, lane rates, encoding and
+  framing overheads (Table I), and the replay/ACK timer formula from the
+  PCI-Express specification;
+* :mod:`repro.pcie.pkt` — the ``pcie-pkt`` wrapper encapsulating either
+  a TLP (a gem5-style memory packet) or a DLLP (ACK/NAK);
+* :mod:`repro.pcie.link` — the link model of Figure 8: two
+  unidirectional links plus an interface at each end implementing the
+  simplified data-link-layer ACK/NAK protocol with replay buffers,
+  sequence numbers, replay timers and ACK timers;
+* :mod:`repro.pcie.vp2p` — virtual PCI-to-PCI bridges: a type-1 header
+  plus a PCI-Express capability identifying the port role;
+* :mod:`repro.pcie.routing` — the shared routing/queueing engine the
+  root complex and switch are built on (the paper builds both on the
+  gem5 bridge);
+* :mod:`repro.pcie.root_complex` and :mod:`repro.pcie.switch` — the two
+  concrete components of Figure 6.
+"""
+
+from repro.pcie.timing import (
+    PcieGen,
+    LinkTiming,
+    TLP_OVERHEAD_BYTES,
+    DLLP_WIRE_BYTES,
+    ack_factor,
+    replay_timeout_ticks,
+    ack_timer_ticks,
+)
+from repro.pcie.pkt import PciePacket, DllpType
+from repro.pcie.link import PcieLink, PcieLinkInterface
+from repro.pcie.vp2p import VirtualP2PBridge
+from repro.pcie.root_complex import RootComplex
+from repro.pcie.switch import PcieSwitch
+
+__all__ = [
+    "PcieGen",
+    "LinkTiming",
+    "TLP_OVERHEAD_BYTES",
+    "DLLP_WIRE_BYTES",
+    "ack_factor",
+    "replay_timeout_ticks",
+    "ack_timer_ticks",
+    "PciePacket",
+    "DllpType",
+    "PcieLink",
+    "PcieLinkInterface",
+    "VirtualP2PBridge",
+    "RootComplex",
+    "PcieSwitch",
+]

@@ -1,0 +1,413 @@
+"""The PCI-Express link model (Figure 8 of the paper).
+
+A :class:`PcieLink` is two unidirectional links plus a
+:class:`PcieLinkInterface` at each end.  Each interface owns a master
+and a slave port that bind to the neighbouring component (a device's
+PIO/DMA ports, or a root-complex/switch port pair), and implements the
+paper's simplified data-link layer:
+
+* TLPs are wrapped in pcie-pkts, given a *sending sequence number*, and
+  stored in a bounded **replay buffer** until acknowledged;
+* a receiver accepts a TLP only when its sequence number equals the
+  *receiving sequence number* **and** the attached port accepts the
+  packet; only then is the receive counter bumped and an ACK scheduled —
+  a refusal (full buffers upstream) silently drops the TLP and the
+  sender's **replay timer** eventually retransmits everything still in
+  the replay buffer;
+* ACK DLLPs are coalesced: the receiver holds them back until the ACK
+  timer (one third of the replay timeout) expires;
+* an ACK purges every replay-buffer entry with a sequence number less
+  than or equal to the acknowledged one and resets the replay timer;
+* transmission priority is (1) ACK/NAK DLLPs, (2) retransmitted
+  pcie-pkts, (3) new TLPs — and new TLPs are transmitted only while the
+  replay buffer has space, which is the *source throttling* behaviour
+  the paper's Figure 9(c) studies.
+
+Optional error injection corrupts a deterministic pseudo-random fraction
+of received TLPs, exercising the NAK path (the receiver NAKs, the
+sender purges acknowledged TLPs and replays the rest).
+"""
+
+import random
+from collections import deque
+from typing import Deque, Optional
+
+from repro.mem.packet import Packet
+from repro.mem.port import MasterPort, SlavePort
+from repro.pcie.pkt import DllpType, PciePacket
+from repro.pcie.timing import (
+    LinkTiming,
+    PcieGen,
+    ack_timer_ticks,
+    replay_timeout_ticks,
+)
+from repro.sim import ticks
+from repro.sim.eventq import CallbackEvent
+from repro.sim.simobject import SimObject, Simulator
+
+
+class UnidirectionalLink(SimObject):
+    """One direction of a link: serializes pcie-pkts at the wire rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        parent: SimObject,
+        timing: LinkTiming,
+        propagation_delay: int,
+    ):
+        super().__init__(sim, name, parent)
+        self.timing = timing
+        self.propagation_delay = propagation_delay
+        self.busy = False
+        self.packets = self.stats.scalar("packets", "pcie-pkts transmitted")
+        self.bytes = self.stats.scalar("bytes", "wire bytes transmitted")
+        self.busy_ticks = self.stats.scalar("busy_ticks", "ticks spent transmitting")
+
+    def send(self, ppkt: PciePacket, sender: "PcieLinkInterface",
+             receiver: "PcieLinkInterface") -> None:
+        if self.busy:
+            raise RuntimeError(f"{self.full_name} is busy")
+        wire = ppkt.wire_bytes()
+        tx_time = self.timing.transmission_ticks(wire)
+        self.busy = True
+        self.packets.inc()
+        self.bytes.inc(wire)
+        self.busy_ticks.inc(tx_time)
+        self.schedule(tx_time, lambda: self._transmit_done(sender), name="tx_done")
+        self.schedule(
+            tx_time + self.propagation_delay,
+            lambda: receiver.receive_from_link(ppkt),
+            name="deliver",
+        )
+
+    def _transmit_done(self, sender: "PcieLinkInterface") -> None:
+        self.busy = False
+        sender.link_free()
+
+
+class PcieLinkInterface(SimObject):
+    """One end of a PCI-Express link: the TX/RX logic of Figure 8."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        parent: "PcieLink",
+    ):
+        super().__init__(sim, name, parent)
+        self.link_parent = parent
+        self.tx_link: Optional[UnidirectionalLink] = None  # wired by PcieLink
+        self.peer: Optional["PcieLinkInterface"] = None
+
+        # Ports facing the attached component.  The master port carries
+        # requests *off* the link into the component and responses from
+        # the component *onto* the link; the slave port the reverse.
+        self.master_port = MasterPort(
+            self, "master",
+            recv_timing_resp=self._recv_from_component,
+            recv_req_retry=self._component_req_retry,
+        )
+        self.slave_port = SlavePort(
+            self, "slave",
+            recv_timing_req=self._recv_from_component,
+            recv_resp_retry=self._component_resp_retry,
+        )
+
+        # -- TX state ------------------------------------------------------
+        self.send_seq = 0
+        self.replay_buffer: Deque[PciePacket] = deque()
+        self.retransmit_queue: Deque[PciePacket] = deque()
+        self.dllp_queue: Deque[PciePacket] = deque()
+        self.input_queue: Deque[Packet] = deque()
+        self._replay_event = CallbackEvent(self._replay_timeout, name=f"{name}.replay")
+
+        # -- RX state --------------------------------------------------------
+        self.recv_seq = 0
+        self._ack_event = CallbackEvent(self._ack_timer_fired, name=f"{name}.ack")
+        self._have_unacked_delivery = False
+        # Seeded with a string for run-to-run determinism (str seeding
+        # does not go through randomized str.__hash__).
+        self._rng = random.Random(f"{parent.error_seed}:{parent.full_name}.{name}")
+
+        # -- statistics ----------------------------------------------------
+        s = self.stats
+        self.tlps_sent = s.scalar("tlps_sent", "first-time TLP transmissions")
+        self.tlp_replays = s.scalar("tlp_replays", "TLP retransmissions")
+        self.timeouts = s.scalar("timeouts", "replay-timer expirations")
+        self.acks_sent = s.scalar("acks_sent")
+        self.naks_sent = s.scalar("naks_sent")
+        self.acks_received = s.scalar("acks_received")
+        self.delivered = s.scalar("delivered", "TLPs handed to the attached component")
+        self.delivery_refused = s.scalar(
+            "delivery_refused", "TLPs dropped because the attached port was full"
+        )
+        self.out_of_seq = s.scalar("out_of_seq", "TLPs discarded by the sequence check")
+        self.corrupted = s.scalar("corrupted", "TLPs hit by injected errors")
+        s.formula(
+            "replay_fraction",
+            lambda: self.tlp_replays.value()
+            / (self.tlps_sent.value() + self.tlp_replays.value()),
+            "fraction of TLP transmissions that were replays",
+        )
+
+    # -- convenience -----------------------------------------------------------
+    @property
+    def replay_buffer_size(self) -> int:
+        return self.link_parent.replay_buffer_size
+
+    @property
+    def input_queue_size(self) -> int:
+        return self.link_parent.input_queue_size
+
+    @property
+    def replay_timeout(self) -> int:
+        return self.link_parent.replay_timeout
+
+    @property
+    def ack_period(self) -> int:
+        return self.link_parent.ack_period
+
+    # ==================== TX: component -> link =========================
+    def _recv_from_component(self, pkt: Packet) -> bool:
+        """A TLP offered by the attached component (request via our slave
+        port or response via our master port)."""
+        if len(self.input_queue) >= self.input_queue_size:
+            return False
+        self.input_queue.append(pkt)
+        self._kick_tx()
+        return True
+
+    def _component_req_retry(self) -> None:
+        """The component can accept a previously-refused delivery again.
+        Nothing is queued on our side — the dropped TLP returns via the
+        sender's replay — so there is nothing to do."""
+
+    def _component_resp_retry(self) -> None:
+        """Symmetric to :meth:`_component_req_retry`."""
+
+    def _kick_tx(self) -> None:
+        if self.tx_link is None or self.tx_link.busy:
+            return
+        ppkt = self._pick_next()
+        if ppkt is None:
+            return
+        self.tx_link.send(ppkt, self, self.peer)
+        if ppkt.is_tlp and not self._replay_event.scheduled:
+            self.sim.schedule_after(self._replay_event, self.replay_timeout)
+
+    def _pick_next(self) -> Optional[PciePacket]:
+        """Select the next pcie-pkt per the paper's priority order."""
+        if self.dllp_queue:
+            ppkt = self.dllp_queue.popleft()
+            if ppkt.dllp_type is DllpType.ACK:
+                self.acks_sent.inc()
+            else:
+                self.naks_sent.inc()
+            return ppkt
+        while self.retransmit_queue:
+            ppkt = self.retransmit_queue.popleft()
+            if ppkt in self.replay_buffer:  # not ACKed while waiting
+                ppkt.is_replay = True
+                self.tlp_replays.inc()
+                return ppkt
+        if self.input_queue and len(self.replay_buffer) < self.replay_buffer_size:
+            pkt = self.input_queue.popleft()
+            ppkt = PciePacket.for_tlp(pkt, self.send_seq)
+            self.send_seq += 1
+            self.replay_buffer.append(ppkt)
+            self.tlps_sent.inc()
+            self._issue_component_retries()
+            return ppkt
+        return None
+
+    def _issue_component_retries(self) -> None:
+        """Input-queue space freed: let the component retry refusals."""
+        if len(self.input_queue) >= self.input_queue_size:
+            return
+        if self.slave_port.retry_owed:
+            self.slave_port.send_retry_req()
+        if self.master_port._resp_retry_owed:
+            self.master_port.send_retry_resp()
+
+    def link_free(self) -> None:
+        """Our unidirectional link finished a transmission."""
+        self._kick_tx()
+
+    # -- replay timer -------------------------------------------------------
+    def _replay_timeout(self) -> None:
+        self.timeouts.inc()
+        # Retransmit everything still unacknowledged, oldest first.
+        self.retransmit_queue.clear()
+        self.retransmit_queue.extend(self.replay_buffer)
+        if self.replay_buffer:
+            self.sim.schedule_after(self._replay_event, self.replay_timeout)
+        self._kick_tx()
+
+    def _reset_replay_timer(self) -> None:
+        if self._replay_event.scheduled:
+            self.sim.eventq.deschedule(self._replay_event)
+        if self.replay_buffer:
+            self.sim.schedule_after(self._replay_event, self.replay_timeout)
+
+    # ===================== RX: link -> component =========================
+    def receive_from_link(self, ppkt: PciePacket) -> None:
+        if ppkt.is_dllp:
+            self._receive_dllp(ppkt)
+        else:
+            self._receive_tlp(ppkt)
+
+    def _receive_dllp(self, ppkt: PciePacket) -> None:
+        if ppkt.dllp_type is DllpType.ACK:
+            self.acks_received.inc()
+            self._purge_acknowledged(ppkt.seq)
+            self._reset_replay_timer()
+            self._kick_tx()
+        else:  # NAK: purge what it acknowledges, replay the rest
+            self._purge_acknowledged(ppkt.seq)
+            self.retransmit_queue.clear()
+            self.retransmit_queue.extend(self.replay_buffer)
+            self._reset_replay_timer()
+            self._kick_tx()
+
+    def _purge_acknowledged(self, seq: int) -> None:
+        while self.replay_buffer and self.replay_buffer[0].seq <= seq:
+            self.replay_buffer.popleft()
+
+    def _receive_tlp(self, ppkt: PciePacket) -> None:
+        if self.link_parent.error_rate and self._rng.random() < self.link_parent.error_rate:
+            # A corrupted TLP: discard and NAK the last good sequence.
+            self.corrupted.inc()
+            self.dllp_queue.append(PciePacket.nak(self.recv_seq - 1))
+            self._kick_tx()
+            return
+        if ppkt.seq != self.recv_seq:
+            # Duplicate (already delivered) or out-of-order replay.
+            self.out_of_seq.inc()
+            if ppkt.seq < self.recv_seq:
+                # Re-ACK so the sender can purge its replay buffer even
+                # if the original ACK crossed a timeout.
+                self._schedule_ack()
+            return
+        if not self._deliver(ppkt.tlp):
+            # Attached component refused (buffers full): drop; do not
+            # bump recv_seq; the sender's replay timer recovers.
+            self.delivery_refused.inc()
+            return
+        self.delivered.inc()
+        self.recv_seq += 1
+        self._schedule_ack()
+
+    def _deliver(self, pkt: Packet) -> bool:
+        if pkt.is_request:
+            return self.master_port.send_timing_req(pkt)
+        return self.slave_port.send_timing_resp(pkt)
+
+    # -- ACK scheduling ---------------------------------------------------------
+    def _schedule_ack(self) -> None:
+        if self.link_parent.ack_policy == "immediate":
+            self.dllp_queue.append(PciePacket.ack(self.recv_seq - 1))
+            self._kick_tx()
+            return
+        self._have_unacked_delivery = True
+        if not self._ack_event.scheduled:
+            self.sim.schedule_after(self._ack_event, self.ack_period)
+
+    def _ack_timer_fired(self) -> None:
+        if not self._have_unacked_delivery:
+            return
+        self._have_unacked_delivery = False
+        self.dllp_queue.append(PciePacket.ack(self.recv_seq - 1))
+        self._kick_tx()
+
+
+class PcieLink(SimObject):
+    """A full-duplex PCI-Express link.
+
+    ``upstream_if`` is the end nearer the root complex (bind its ports
+    to a root/switch *downstream* port); ``downstream_if`` is the device
+    end.  Both directions share one :class:`LinkTiming`.
+
+    Args:
+        gen: PCI-Express generation (defaults to Gen 2 like the paper's
+            validation setup).
+        width: lane count.
+        propagation_delay: flight time added after serialization.
+        replay_buffer_size: TLPs held awaiting acknowledgement (the
+            paper's default is 4, "enough TLP pcie-pkts until the next
+            ACK arrives based on the ack factor").
+        max_payload: MaxPayloadSize used in the replay-timer formula
+            (the paper uses the cache-line size, 64 B).
+        ack_policy: ``"timer"`` coalesces ACKs until the ACK timer
+            expires (the paper's default); ``"immediate"`` ACKs every
+            delivery.
+        input_queue_size: TLPs an interface buffers from its component
+            before exerting port backpressure.
+        error_rate: fraction of received TLPs corrupted (NAK path).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        parent: Optional[SimObject] = None,
+        gen: PcieGen = PcieGen.GEN2,
+        width: int = 1,
+        propagation_delay: int = ticks.from_ns(4),
+        replay_buffer_size: int = 4,
+        max_payload: int = 64,
+        ack_policy: str = "timer",
+        input_queue_size: int = 2,
+        error_rate: float = 0.0,
+        error_seed: int = 0x5EED,
+        replay_timeout: Optional[int] = None,
+        ack_period: Optional[int] = None,
+    ):
+        super().__init__(sim, name, parent)
+        if replay_buffer_size < 1:
+            raise ValueError("replay buffer must hold at least one TLP")
+        if ack_policy not in ("timer", "immediate"):
+            raise ValueError(f"unknown ack policy {ack_policy!r}")
+        self.timing = LinkTiming(gen, width)
+        self.replay_buffer_size = replay_buffer_size
+        self.max_payload = max_payload
+        self.ack_policy = ack_policy
+        self.input_queue_size = input_queue_size
+        self.error_rate = error_rate
+        self.error_seed = error_seed
+        # The spec formula by default; explicit overrides support the
+        # timer-sensitivity ablations.
+        self.replay_timeout = (
+            replay_timeout
+            if replay_timeout is not None
+            else replay_timeout_ticks(gen, width, max_payload)
+        )
+        self.ack_period = (
+            ack_period if ack_period is not None else ack_timer_ticks(gen, width, max_payload)
+        )
+
+        self.upstream_if = PcieLinkInterface(sim, "up_if", self)
+        self.downstream_if = PcieLinkInterface(sim, "down_if", self)
+        self.up_link = UnidirectionalLink(
+            sim, "up_link", self, self.timing, propagation_delay
+        )
+        self.down_link = UnidirectionalLink(
+            sim, "down_link", self, self.timing, propagation_delay
+        )
+        # The downstream interface transmits on the upstream-bound link.
+        self.downstream_if.tx_link = self.up_link
+        self.downstream_if.peer = self.upstream_if
+        self.upstream_if.tx_link = self.down_link
+        self.upstream_if.peer = self.downstream_if
+
+    @property
+    def gen(self) -> PcieGen:
+        return self.timing.gen
+
+    @property
+    def width(self) -> int:
+        return self.timing.width
+
+    def __repr__(self) -> str:
+        return f"<PcieLink {self.full_name} {self.gen.name} x{self.width}>"

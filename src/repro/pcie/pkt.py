@@ -1,0 +1,81 @@
+"""The ``pcie-pkt`` wrapper.
+
+The paper: "Since we transmit both DLLPs and TLPs across the same link,
+we create a new wrapper class, called pcie-pkt, to encapsulate both
+DLLPs and TLPs.  A sequence number is assigned to a pcie-pkt
+encapsulating a TLP prior to transmission.  Each pcie-pkt returns a size
+depending on whether it encapsulates a TLP or a DLLP."
+
+A :class:`PciePacket` therefore wraps either a memory packet (the TLP)
+tagged with a data-link sequence number, or an ACK/NAK DLLP carrying the
+acknowledged sequence number.
+"""
+
+import enum
+from typing import Optional
+
+from repro.mem.packet import Packet
+from repro.pcie.timing import DLLP_WIRE_BYTES, TLP_OVERHEAD_BYTES
+
+
+class DllpType(enum.Enum):
+    ACK = "ack"
+    NAK = "nak"
+
+
+class PciePacket:
+    """One unit of transmission on a unidirectional link."""
+
+    __slots__ = ("tlp", "dllp_type", "seq", "is_replay")
+
+    def __init__(
+        self,
+        tlp: Optional[Packet] = None,
+        dllp_type: Optional[DllpType] = None,
+        seq: int = -1,
+    ):
+        if (tlp is None) == (dllp_type is None):
+            raise ValueError("a pcie-pkt wraps exactly one of a TLP or a DLLP")
+        if dllp_type is not None and seq < -1:
+            # seq == -1 is legal and means "nothing received yet" (it
+            # acknowledges nothing); anything lower is a bug.
+            raise ValueError("a DLLP must carry the sequence number it acknowledges")
+        self.tlp = tlp
+        self.dllp_type = dllp_type
+        self.seq = seq
+        # Marked when this transmission is a retransmission from the
+        # replay buffer (statistics only).
+        self.is_replay = False
+
+    @classmethod
+    def for_tlp(cls, tlp: Packet, seq: int) -> "PciePacket":
+        return cls(tlp=tlp, seq=seq)
+
+    @classmethod
+    def ack(cls, seq: int) -> "PciePacket":
+        return cls(dllp_type=DllpType.ACK, seq=seq)
+
+    @classmethod
+    def nak(cls, seq: int) -> "PciePacket":
+        return cls(dllp_type=DllpType.NAK, seq=seq)
+
+    @property
+    def is_tlp(self) -> bool:
+        return self.tlp is not None
+
+    @property
+    def is_dllp(self) -> bool:
+        return self.dllp_type is not None
+
+    def wire_bytes(self) -> int:
+        """On-wire size per Table I (encoding cost lives in the symbol
+        time, not here)."""
+        if self.tlp is not None:
+            return self.tlp.payload_size + TLP_OVERHEAD_BYTES
+        return DLLP_WIRE_BYTES
+
+    def __repr__(self) -> str:
+        if self.is_tlp:
+            replay = " replay" if self.is_replay else ""
+            return f"<pcie-pkt TLP seq={self.seq}{replay} {self.tlp!r}>"
+        return f"<pcie-pkt {self.dllp_type.value.upper()} seq={self.seq}>"

@@ -1,0 +1,314 @@
+"""The routing/queueing engine shared by the root complex and switch.
+
+The paper builds both components on the gem5 bridge; here they share a
+:class:`PcieRoutingEngine` that owns a set of :class:`ComponentPort`
+pairs (one upstream, N downstream) and the two routing rules from
+Section V-A:
+
+* **requests** route downstream to the port whose VP2P memory or I/O
+  window contains the packet's address, and otherwise upstream (DMA to
+  host memory);
+* **responses** route by the packet's ``pci_bus_num``: downstream to the
+  port whose VP2P [secondary, subordinate] range contains the bus, and
+  upstream when no port matches.
+
+Every slave port stamps ``pci_bus_num`` on requests still carrying the
+−1 sentinel: downstream ports stamp their VP2P's secondary bus number,
+the upstream port stamps the bus the component itself lives on (0 for
+the root complex).
+
+**Buffering.**  "Each port associated with the root complex has
+configurable buffers and models the congestion at the port."  Each
+:class:`ComponentPort` owns a pool of ``buffer_size`` packet slots.  A
+packet occupies exactly one slot — at the port it *entered* through —
+for its entire residence in the component: the processing delay
+(``latency``, admitted one per ``service_interval``, the port's
+internal datapath rate) plus however long it waits in its egress queue.
+Holding a single resource per packet keeps the fabric deadlock-free by
+construction (no hold-and-wait), while a full pool refuses ingress —
+which is what the link-layer ACK/NAK protocol turns into the replays
+and timeouts of the paper's Figure 9.
+
+One slot per pool is reserved for responses so that a request flood can
+never starve the response path (requests may hold at most
+``buffer_size − 1`` slots).
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.mem.addr import AddrRange
+from repro.mem.packet import Packet
+from repro.mem.port import MasterPort, PacketQueue, PortError, SlavePort
+from repro.pcie.vp2p import VirtualP2PBridge
+from repro.sim import ticks
+from repro.sim.simobject import SimObject, Simulator
+
+
+class ComponentPort(SimObject):
+    """One port of a root complex or switch: a master/slave pair plus a
+    slot pool accounting for every packet that entered here."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        parent: "PcieRoutingEngine",
+        vp2p: Optional[VirtualP2PBridge],
+        is_upstream: bool,
+    ):
+        super().__init__(sim, name, parent)
+        self.engine = parent
+        self.vp2p = vp2p
+        self.is_upstream = is_upstream
+
+        self.master_port = MasterPort(
+            self, "master",
+            recv_timing_resp=self._recv_response,
+            recv_req_retry=lambda: self.req_queue.retry(),
+        )
+        self.slave_port = SlavePort(
+            self, "slave",
+            recv_timing_req=self._recv_request,
+            recv_resp_retry=lambda: self.resp_queue.retry(),
+        )
+        if is_upstream:
+            self.slave_port.get_ranges = parent.upstream_ranges
+
+        # Egress queues.  Slot accounting lives with the ingress port,
+        # so capacity here only needs to cover the whole engine's worst
+        # case (every resident packet targeting one egress).
+        capacity = parent.buffer_size * 8
+        self.req_queue = PacketQueue(
+            self, "reqq", self.master_port.send_timing_req, capacity
+        )
+        self.resp_queue = PacketQueue(
+            self, "respq", self.slave_port.send_timing_resp, capacity
+        )
+        self.req_queue.on_packet_sent = (
+            lambda pkt: parent._packet_left(pkt, is_response=False)
+        )
+        self.resp_queue.on_packet_sent = (
+            lambda pkt: parent._packet_left(pkt, is_response=True)
+        )
+
+        # The pool: packets resident in the engine that entered here.
+        self._req_slots = 0
+        self._resp_slots = 0
+        # Per-port datapath serialization horizon (used when the engine
+        # runs with datapath_scope="port").
+        self._proc_next_free = 0
+
+        self.pool_occupancy = self.stats.average(
+            "pool_occupancy", "pool slots in use, sampled at ingress"
+        )
+        self.ingress_refusals = self.stats.scalar(
+            "ingress_refusals", "packets refused because the pool was full"
+        )
+
+    # -- pool accounting ------------------------------------------------------
+    @property
+    def pool_used(self) -> int:
+        return self._req_slots + self._resp_slots
+
+    def _try_reserve(self, is_response: bool) -> bool:
+        if self.pool_used >= self.engine.buffer_size:
+            return False
+        if not is_response and self._req_slots >= self.engine.buffer_size - 1:
+            # The last slot is reserved for responses so a request flood
+            # cannot starve the response path.
+            return False
+        if is_response:
+            self._resp_slots += 1
+        else:
+            self._req_slots += 1
+        return True
+
+    def _release(self, is_response: bool) -> None:
+        if is_response:
+            assert self._resp_slots > 0
+            self._resp_slots -= 1
+        else:
+            assert self._req_slots > 0
+            self._req_slots -= 1
+        self.engine._on_slot_freed()
+
+    # -- ingress ------------------------------------------------------------------
+    def _recv_request(self, pkt: Packet) -> bool:
+        return self._ingress(pkt, is_response=False)
+
+    def _recv_response(self, pkt: Packet) -> bool:
+        return self._ingress(pkt, is_response=True)
+
+    def _ingress(self, pkt: Packet, is_response: bool) -> bool:
+        if not self._try_reserve(is_response):
+            self.ingress_refusals.inc()
+            return False
+        self.pool_occupancy.sample(self.pool_used)
+        self.engine._register_owner(pkt, is_response, self)
+        if not is_response and pkt.pci_bus_num == -1:
+            pkt.pci_bus_num = self.stamp_bus_number()
+        now = self.curtick
+        # The internal datapath admits one packet per service interval.
+        # With datapath_scope="port" each port has its own pipeline;
+        # with "engine" a single store-and-forward engine is shared by
+        # every port and both directions, so a request flood delays
+        # response processing too.
+        if self.engine.datapath_scope == "engine":
+            start = max(now, self.engine._datapath_next_free)
+            self.engine._datapath_next_free = start + self.engine.service_interval
+        else:
+            start = max(now, self._proc_next_free)
+            self._proc_next_free = start + self.engine.service_interval
+        delay = (start - now) + self.engine.latency
+        self.schedule(
+            delay,
+            lambda: self.engine._move(pkt, src=self, is_response=is_response),
+            name="processed",
+        )
+        return True
+
+    def stamp_bus_number(self) -> int:
+        if self.is_upstream:
+            return self.engine.upstream_stamp_bus()
+        assert self.vp2p is not None
+        return self.vp2p.secondary_bus
+
+    # -- egress ----------------------------------------------------------------------
+    def enqueue_egress(self, pkt: Packet, is_response: bool) -> None:
+        queue = self.resp_queue if is_response else self.req_queue
+        pushed = queue.push(pkt, 0)
+        assert pushed, "egress capacity covers the engine's worst case"
+
+    def retry_refused_peers(self) -> None:
+        """Pool space freed: let refused ingress peers try again."""
+        if self.slave_port.retry_owed and self._req_slots < self.engine.buffer_size - 1:
+            self.slave_port.send_retry_req()
+        if self.master_port._resp_retry_owed and self.pool_used < self.engine.buffer_size:
+            self.master_port.send_retry_resp()
+
+
+class PcieRoutingEngine(SimObject):
+    """Base class: see module docstring.
+
+    Args:
+        latency: request/response processing latency in ticks (the
+            paper's root complex default is 150 ns; a typical switch on
+            the market is also 150 ns).
+        buffer_size: packet slots in each port's pool (the paper's
+            experiments use 16, 20, 24, 28).
+        service_interval: per-packet admission serialization of the
+            internal datapath, in ticks.
+        datapath_scope: "port" gives each port its own datapath
+            pipeline; "engine" shares one pipeline across all ports and
+            both directions (an ablation of the internal organisation).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        parent: Optional[SimObject] = None,
+        latency: int = ticks.from_ns(150),
+        buffer_size: int = 16,
+        service_interval: int = ticks.from_ns(42),
+        datapath_scope: str = "port",
+    ):
+        super().__init__(sim, name, parent)
+        if buffer_size < 2:
+            raise ValueError("port buffers need at least two slots "
+                             "(one is reserved for responses)")
+        if datapath_scope not in ("port", "engine"):
+            raise ValueError(f"unknown datapath scope {datapath_scope!r}")
+        self.latency = latency
+        self.buffer_size = buffer_size
+        self.service_interval = service_interval
+        self.datapath_scope = datapath_scope
+        # Shared internal-datapath serialization horizon (see
+        # ComponentPort._ingress).
+        self._datapath_next_free = 0
+        self.upstream_port = ComponentPort(sim, "upstream", self, vp2p=None,
+                                           is_upstream=True)
+        self.downstream_ports: List[ComponentPort] = []
+        # Which port's pool each resident packet is charged to, keyed
+        # by (req_id, is_response) — a request and its response never
+        # reside in the same engine simultaneously, and ids are unique.
+        self._owners: Dict[Tuple[int, bool], ComponentPort] = {}
+
+        self.requests_routed = self.stats.scalar("requests_routed")
+        self.responses_routed = self.stats.scalar("responses_routed")
+
+    # -- construction ------------------------------------------------------------
+    def add_downstream_port(self, vp2p: VirtualP2PBridge,
+                            name: str = "") -> ComponentPort:
+        index = len(self.downstream_ports)
+        port = ComponentPort(
+            self.sim, name or f"port{index}", self, vp2p=vp2p, is_upstream=False
+        )
+        self.downstream_ports.append(port)
+        return port
+
+    def _all_ports(self) -> List[ComponentPort]:
+        return [self.upstream_port] + self.downstream_ports
+
+    # -- policy hooks (overridden by RootComplex / PcieSwitch) ------------------------
+    def upstream_ranges(self) -> List[AddrRange]:
+        """Address ranges the upstream slave port claims."""
+        raise NotImplementedError
+
+    def upstream_stamp_bus(self) -> int:
+        """Bus number stamped on requests entering the upstream port."""
+        raise NotImplementedError
+
+    # -- slot ownership ---------------------------------------------------------------
+    def _register_owner(self, pkt: Packet, is_response: bool,
+                        port: ComponentPort) -> None:
+        self._owners[(pkt.req_id, is_response)] = port
+
+    def _packet_left(self, pkt: Packet, is_response: bool) -> None:
+        owner = self._owners.pop((pkt.req_id, is_response))
+        owner._release(is_response)
+
+    # -- internal movement ---------------------------------------------------------
+    def _move(self, pkt: Packet, src: ComponentPort, is_response: bool) -> None:
+        """Ingress processing finished: hand the packet to its egress
+        queue (the slot stays charged to ``src`` until transmission)."""
+        if is_response:
+            target = self._response_target(pkt)
+            self.responses_routed.inc()
+        else:
+            target = self._request_target(pkt, src)
+            self.requests_routed.inc()
+        target.enqueue_egress(pkt, is_response)
+
+    def _request_target(self, pkt: Packet, src: ComponentPort) -> ComponentPort:
+        for port in self.downstream_ports:
+            if port is src:
+                continue
+            assert port.vp2p is not None
+            if port.vp2p.forwards(pkt.addr):
+                return port
+        if src.is_upstream:
+            raise PortError(
+                f"{self.full_name}: request {pkt!r} entered the upstream port "
+                f"but no downstream window claims {pkt.addr:#x}"
+            )
+        return self.upstream_port
+
+    def _response_target(self, pkt: Packet) -> ComponentPort:
+        for port in self.downstream_ports:
+            vp2p = port.vp2p
+            assert vp2p is not None
+            # An unconfigured VP2P (secondary still 0) routes nothing —
+            # only the root bus itself is numbered 0.
+            if vp2p.secondary_bus == 0:
+                continue
+            if vp2p.bus_in_range(pkt.pci_bus_num):
+                return port
+        # Per the paper: "If no match is found, the response packet is
+        # forwarded to the upstream slave port."
+        return self.upstream_port
+
+    # -- backpressure fan-out ----------------------------------------------------------
+    def _on_slot_freed(self) -> None:
+        for port in self._all_ports():
+            port.retry_refused_peers()

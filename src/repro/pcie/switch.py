@@ -1,0 +1,126 @@
+"""The PCI-Express switch.
+
+A switch interconnects links: one upstream port and one or more
+downstream ports, *each* represented by a VP2P (in contrast to the root
+complex, where only the root ports carry VP2Ps).  Ours is a
+store-and-forward switch — gem5 deals in whole packets — with a
+configurable latency; a typical switch on the market is 150 ns.
+
+Differences from the root complex, per the paper:
+
+* the upstream slave port claims the address ranges programmed into the
+  *upstream VP2P's* base/limit registers (not the union of the
+  downstream ports');
+* the upstream port, too, is software-visible as a bridge: enumeration
+  discovers upstream-VP2P → bus → downstream-VP2Ps → buses.
+"""
+
+from typing import List, Optional
+
+from repro.mem.addr import AddrRange
+from repro.pci.capabilities import PciePortType
+from repro.pcie.routing import ComponentPort, PcieRoutingEngine
+from repro.pcie.vp2p import VirtualP2PBridge
+from repro.sim import ticks
+from repro.sim.simobject import SimObject, Simulator
+
+# A generic PLX/Broadcom-style switch identity.
+PLX_VENDOR_ID = 0x10B5
+PLX_SWITCH_DEVICE_ID = 0x8796
+
+
+class PcieSwitch(PcieRoutingEngine):
+    """A store-and-forward PCI-Express switch.
+
+    Args:
+        num_downstream_ports: downstream port (and VP2P) count.
+        latency: store-and-forward processing latency (default 150 ns).
+        buffer_size: per-port, per-direction packet buffer (default 16).
+        service_interval: per-packet serialization of a port's internal
+            datapath.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "switch",
+        parent: Optional[SimObject] = None,
+        num_downstream_ports: int = 2,
+        latency: int = ticks.from_ns(150),
+        buffer_size: int = 16,
+        service_interval: int = ticks.from_ns(30),
+        datapath_scope: str = "port",
+        link_speed: int = 2,
+        link_width: int = 1,
+    ):
+        super().__init__(
+            sim, name, parent,
+            latency=latency, buffer_size=buffer_size,
+            service_interval=service_interval,
+            datapath_scope=datapath_scope,
+        )
+        if num_downstream_ports < 1:
+            raise ValueError("a switch needs at least one downstream port")
+        self.upstream_vp2p = VirtualP2PBridge(
+            device_id=PLX_SWITCH_DEVICE_ID,
+            vendor_id=PLX_VENDOR_ID,
+            port_type=PciePortType.UPSTREAM_SWITCH_PORT,
+            link_speed=link_speed,
+            link_width=link_width,
+        )
+        for i in range(num_downstream_ports):
+            vp2p = VirtualP2PBridge(
+                device_id=PLX_SWITCH_DEVICE_ID + 1 + i,
+                vendor_id=PLX_VENDOR_ID,
+                port_type=PciePortType.DOWNSTREAM_SWITCH_PORT,
+                link_speed=link_speed,
+                link_width=link_width,
+            )
+            self.add_downstream_port(vp2p, name=f"down_port{i}")
+
+    # -- aliases -------------------------------------------------------------
+    @property
+    def upstream_slave(self):
+        """Accepts requests from the root-complex side link."""
+        return self.upstream_port.slave_port
+
+    @property
+    def upstream_master(self):
+        """Sends DMA requests toward the root complex."""
+        return self.upstream_port.master_port
+
+    @property
+    def vp2ps(self) -> List[VirtualP2PBridge]:
+        return [self.upstream_vp2p] + [p.vp2p for p in self.downstream_ports]
+
+    # -- routing policy ------------------------------------------------------------
+    def upstream_ranges(self) -> List[AddrRange]:
+        """What the switch claims from upstream: the windows programmed
+        into the *upstream* VP2P."""
+        return self.upstream_vp2p.forwarding_ranges()
+
+    def upstream_stamp_bus(self) -> int:
+        # A request entering from upstream arrived on the upstream
+        # VP2P's primary bus.  (Requests from the processor were already
+        # stamped 0 at the root complex; this matters only for unusual
+        # topologies where the switch is the first stamping point.)
+        return self.upstream_vp2p.primary_bus
+
+    def register_with_host(self, parent_bus, device: int = 0) -> list:
+        """Install the switch's VP2P hierarchy into a host config-bus.
+
+        ``parent_bus`` is the config bus behind the root port (or
+        upstream switch) this switch hangs off.  The upstream VP2P
+        becomes device ``device`` on that bus; the downstream VP2Ps
+        populate the internal bus behind it.  Returns the list of config
+        buses behind each downstream port, in port order.
+        """
+        internal = parent_bus.add_bridge(device, 0, self.upstream_vp2p,
+                                         child_name=f"{self.name}.internal")
+        children = []
+        for i, port in enumerate(self.downstream_ports):
+            child = internal.add_bridge(i, 0, port.vp2p,
+                                        child_name=f"{self.name}.dp{i}")
+            children.append(child)
+        self._downstream_config_buses = children
+        return children

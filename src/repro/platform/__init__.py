@@ -1,0 +1,5 @@
+"""Platform definitions (the Vexpress_GEM5_V1 address map)."""
+
+from repro.platform.addrmap import AddressMap, VEXPRESS_GEM5_V1
+
+__all__ = ["AddressMap", "VEXPRESS_GEM5_V1"]

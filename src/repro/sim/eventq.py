@@ -1,0 +1,201 @@
+"""The event queue at the heart of the simulator.
+
+Events are scheduled at an absolute tick and fire in (tick, priority,
+insertion-order) order, mirroring gem5's deterministic event queue.  An
+:class:`Event` subclass overrides :meth:`Event.process`;
+:class:`CallbackEvent` wraps a plain callable for one-off work.
+"""
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class Event:
+    """A schedulable unit of work.
+
+    Subclasses override :meth:`process`.  An event instance may be
+    scheduled at most once at a time; it can be rescheduled after it has
+    fired or been descheduled.  Priorities follow gem5's convention:
+    lower numeric priority fires first within a tick.
+    """
+
+    # Common gem5-style priorities.  Most events use DEFAULT_PRI; the
+    # others exist so that, e.g., statistics dumps observe a consistent
+    # state within a tick.
+    MINIMUM_PRI = -100
+    DEFAULT_PRI = 0
+    SIM_EXIT_PRI = 98
+    MAXIMUM_PRI = 100
+
+    def __init__(self, priority: int = DEFAULT_PRI, name: str = ""):
+        self.priority = priority
+        self.name = name or type(self).__name__
+        self._when: Optional[int] = None
+        # The live heap entry for this event; squashing an entry is done
+        # by clearing its event slot so a stale entry can never fire even
+        # if the event is immediately rescheduled.
+        self._entry: Optional[list] = None
+
+    # -- scheduling state -------------------------------------------------
+    @property
+    def scheduled(self) -> bool:
+        """True while the event sits in an event queue."""
+        return self._entry is not None
+
+    @property
+    def when(self) -> Optional[int]:
+        """Tick at which the event will fire, or None if unscheduled."""
+        return self._when if self.scheduled else None
+
+    # -- behaviour ---------------------------------------------------------
+    def process(self) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} @ {self._when}>"
+
+
+class CallbackEvent(Event):
+    """An event that invokes an arbitrary callable when it fires."""
+
+    def __init__(
+        self,
+        callback: Callable[[], None],
+        priority: int = Event.DEFAULT_PRI,
+        name: str = "",
+    ):
+        super().__init__(priority, name or getattr(callback, "__name__", "callback"))
+        self._callback = callback
+
+    def process(self) -> None:
+        self._callback()
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    The queue tracks the current simulated time (:attr:`curtick`).  Time
+    only advances by servicing events; :meth:`run` drains the queue until
+    it is empty, a tick limit is reached, or :meth:`stop` is called.
+    """
+
+    def __init__(self, name: str = "eventq"):
+        self.name = name
+        self.curtick: int = 0
+        self._heap: List[Tuple[int, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._stop_requested = False
+        # Number of events processed since construction; handy both for
+        # statistics and for runaway-simulation guards in tests.
+        self.events_processed: int = 0
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, when: int) -> Event:
+        """Schedule ``event`` to fire at absolute tick ``when``."""
+        if when < self.curtick:
+            raise ValueError(
+                f"cannot schedule {event!r} at {when} in the past "
+                f"(curtick={self.curtick})"
+            )
+        if event.scheduled:
+            raise RuntimeError(f"{event!r} is already scheduled")
+        event._when = when
+        entry = [when, event.priority, next(self._counter), event]
+        event._entry = entry
+        heapq.heappush(self._heap, entry)
+        return event
+
+    def schedule_after(self, event: Event, delay: int) -> Event:
+        """Schedule ``event`` to fire ``delay`` ticks from now."""
+        return self.schedule(event, self.curtick + delay)
+
+    def schedule_callback(
+        self, delay: int, callback: Callable[[], None], name: str = ""
+    ) -> CallbackEvent:
+        """Convenience: schedule a plain callable ``delay`` ticks from now."""
+        event = CallbackEvent(callback, name=name)
+        self.schedule_after(event, delay)
+        return event
+
+    def deschedule(self, event: Event) -> None:
+        """Remove a scheduled event (lazily: its entry is squashed)."""
+        if not event.scheduled:
+            raise RuntimeError(f"{event!r} is not scheduled")
+        assert event._entry is not None
+        event._entry[3] = None
+        event._entry = None
+        event._when = None
+
+    def reschedule(self, event: Event, when: int) -> Event:
+        """Move an event to a new tick, scheduling it if it was idle."""
+        if event.scheduled:
+            self.deschedule(event)
+        return self.schedule(event, when)
+
+    # -- execution ---------------------------------------------------------
+    def empty(self) -> bool:
+        """True if no live (non-squashed) events remain."""
+        self._drop_squashed_head()
+        return not self._heap
+
+    def _drop_squashed_head(self) -> None:
+        while self._heap and self._heap[0][3] is None:
+            heapq.heappop(self._heap)
+
+    def next_tick(self) -> Optional[int]:
+        """Tick of the next live event, or None if the queue is empty."""
+        self._drop_squashed_head()
+        return self._heap[0][0] if self._heap else None
+
+    def service_one(self) -> bool:
+        """Pop and process the next live event.  Returns False when empty."""
+        self._drop_squashed_head()
+        if not self._heap:
+            return False
+        when, __, __, event = heapq.heappop(self._heap)
+        assert event is not None
+        self.curtick = when
+        event._when = None
+        event._entry = None
+        self.events_processed += 1
+        event.process()
+        return True
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Service events until the queue drains or a limit is hit.
+
+        Args:
+            until: stop once the next event would fire after this tick.
+                The clock is advanced to ``until`` when the limit stops
+                the run before the queue drains.
+            max_events: stop after servicing this many events (guard
+                against runaway simulations in tests).
+
+        Returns:
+            The current tick when the run stopped.
+        """
+        self._stop_requested = False
+        serviced = 0
+        while not self._stop_requested:
+            nxt = self.next_tick()
+            if nxt is None:
+                break
+            if until is not None and nxt > until:
+                self.curtick = until
+                break
+            if max_events is not None and serviced >= max_events:
+                break
+            self.service_one()
+            serviced += 1
+        return self.curtick
+
+    def stop(self) -> None:
+        """Ask a :meth:`run` in progress to stop after the current event."""
+        self._stop_requested = True
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if entry[3] is not None)
+
+    def __repr__(self) -> str:
+        return f"<EventQueue {self.name!r} tick={self.curtick} pending={len(self)}>"

@@ -1,0 +1,127 @@
+"""Simulation objects and the simulator root.
+
+A :class:`SimObject` is a named node in a tree of hardware/software
+models, each holding a reference to the shared :class:`Simulator` (event
+queue + statistics root).  This mirrors gem5's SimObject hierarchy
+closely enough that the paper's component descriptions translate
+one-to-one.
+"""
+
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.eventq import CallbackEvent, Event, EventQueue
+from repro.sim.stats import StatGroup
+
+
+class Simulator:
+    """Owns the event queue and the root of the statistics tree.
+
+    Every :class:`SimObject` is constructed with a reference to a
+    Simulator, keeping time and statistics explicit rather than global
+    (the library never uses module-level simulation state, so several
+    simulations can coexist in one Python process — the benchmark
+    harness relies on this).
+    """
+
+    def __init__(self, name: str = "sim"):
+        self.name = name
+        self.eventq = EventQueue(f"{name}.eventq")
+        self.stats = StatGroup()
+        self._objects: List["SimObject"] = []
+        self._exit_callbacks: List[Callable[[], None]] = []
+
+    # -- time --------------------------------------------------------------
+    @property
+    def curtick(self) -> int:
+        return self.eventq.curtick
+
+    def schedule(self, event: Event, when: int) -> Event:
+        return self.eventq.schedule(event, when)
+
+    def schedule_after(self, event: Event, delay: int) -> Event:
+        return self.eventq.schedule_after(event, delay)
+
+    def schedule_callback(
+        self, delay: int, callback: Callable[[], None], name: str = ""
+    ) -> CallbackEvent:
+        return self.eventq.schedule_callback(delay, callback, name)
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation; see :meth:`EventQueue.run`."""
+        return self.eventq.run(until=until, max_events=max_events)
+
+    def stop(self) -> None:
+        self.eventq.stop()
+
+    # -- object registry ---------------------------------------------------
+    def register(self, obj: "SimObject") -> None:
+        self._objects.append(obj)
+
+    def find(self, full_name: str) -> Optional["SimObject"]:
+        """Look an object up by its dotted full name."""
+        for obj in self._objects:
+            if obj.full_name == full_name:
+                return obj
+        return None
+
+    @property
+    def objects(self) -> List["SimObject"]:
+        return list(self._objects)
+
+    # -- stats ---------------------------------------------------------
+    def dump_stats(self) -> Dict[str, float]:
+        return self.stats.dump()
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+
+class SimObject:
+    """A named model component.
+
+    Args:
+        sim: the owning :class:`Simulator`.
+        name: this object's leaf name; the full name is formed by
+            joining parent names with dots, as in gem5
+            (``system.pcie.switch.port0``).
+        parent: optional parent object for naming/statistics nesting.
+    """
+
+    def __init__(self, sim: Simulator, name: str, parent: Optional["SimObject"] = None):
+        if not name:
+            raise ValueError("SimObject name must be non-empty")
+        self.sim = sim
+        self.name = name
+        self.parent = parent
+        self.children: List["SimObject"] = []
+        if parent is not None:
+            parent.children.append(self)
+        self.stats = StatGroup(name)
+        if parent is not None:
+            parent.stats.add_child(self.stats)
+        else:
+            sim.stats.add_child(self.stats)
+        sim.register(self)
+
+    @property
+    def full_name(self) -> str:
+        parts = []
+        node: Optional[SimObject] = self
+        while node is not None:
+            parts.append(node.name)
+            node = node.parent
+        return ".".join(reversed(parts))
+
+    # -- convenience passthroughs ------------------------------------------
+    @property
+    def curtick(self) -> int:
+        return self.sim.curtick
+
+    def schedule(self, delay: int, callback: Callable[[], None], name: str = "") -> CallbackEvent:
+        """Schedule ``callback`` to run ``delay`` ticks from now."""
+        return self.sim.schedule_callback(
+            delay, callback, name or f"{self.full_name}.{getattr(callback, '__name__', 'cb')}"
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.full_name!r}>"

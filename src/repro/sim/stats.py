@@ -1,0 +1,230 @@
+"""A small statistics framework in the spirit of gem5's.
+
+Simulation objects register named statistics; at the end of a run the
+whole tree can be dumped to a flat ``dict`` or pretty-printed.  Four stat
+kinds cover everything the library needs:
+
+* :class:`Scalar` — a counter or gauge (packets sent, bytes moved).
+* :class:`Average` — running mean of samples (queue occupancy).
+* :class:`Distribution` — min/max/mean/stddev plus sample count
+  (latency distributions).
+* :class:`Formula` — a value computed from other stats at dump time
+  (throughput = bytes / seconds).
+"""
+
+import math
+from typing import Callable, Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Stat:
+    """Base class: a named, described statistic."""
+
+    def __init__(self, name: str, desc: str = ""):
+        if not name:
+            raise ValueError("stat name must be non-empty")
+        self.name = name
+        self.desc = desc
+
+    def value(self) -> Number:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def dump(self) -> Dict[str, Number]:
+        """Return the stat as a flat {suffix: value} mapping."""
+        return {"": self.value()}
+
+
+class Scalar(Stat):
+    """A simple accumulating counter / settable gauge."""
+
+    def __init__(self, name: str, desc: str = "", init: Number = 0):
+        super().__init__(name, desc)
+        self._init = init
+        self._value: Number = init
+
+    def inc(self, amount: Number = 1) -> None:
+        self._value += amount
+
+    def set(self, value: Number) -> None:
+        self._value = value
+
+    def value(self) -> Number:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = self._init
+
+    def __iadd__(self, amount: Number) -> "Scalar":
+        self.inc(amount)
+        return self
+
+
+class Average(Stat):
+    """Arithmetic mean of all samples."""
+
+    def __init__(self, name: str, desc: str = ""):
+        super().__init__(name, desc)
+        self._sum: float = 0.0
+        self._count: int = 0
+
+    def sample(self, value: Number) -> None:
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def value(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def reset(self) -> None:
+        self._sum = 0.0
+        self._count = 0
+
+
+class Distribution(Stat):
+    """Streaming min / max / mean / standard deviation of samples.
+
+    Uses Welford's online algorithm, which stays numerically stable
+    even for tightly-clustered samples at large magnitudes (the naive
+    sum-of-squares formula cancels catastrophically there)."""
+
+    def __init__(self, name: str, desc: str = ""):
+        super().__init__(name, desc)
+        self.reset()
+
+    def sample(self, value: Number) -> None:
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if self._count < 2:
+            return 0.0
+        return math.sqrt(max(self._m2 / (self._count - 1), 0.0))
+
+    @property
+    def minimum(self) -> Optional[Number]:
+        return self._min
+
+    @property
+    def maximum(self) -> Optional[Number]:
+        return self._max
+
+    def value(self) -> float:
+        return self.mean
+
+    def reset(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[Number] = None
+        self._max: Optional[Number] = None
+
+    def dump(self) -> Dict[str, Number]:
+        return {
+            "::count": self._count,
+            "::mean": self.mean,
+            "::stddev": self.stddev,
+            "::min": self._min if self._min is not None else 0,
+            "::max": self._max if self._max is not None else 0,
+        }
+
+
+class Formula(Stat):
+    """A stat computed on demand from a callable (usually a lambda
+    closing over other stats)."""
+
+    def __init__(self, name: str, func: Callable[[], Number], desc: str = ""):
+        super().__init__(name, desc)
+        self._func = func
+
+    def value(self) -> Number:
+        try:
+            return self._func()
+        except ZeroDivisionError:
+            return 0.0
+
+    def reset(self) -> None:
+        pass
+
+
+class StatGroup:
+    """A named collection of stats and child groups, forming a tree that
+    mirrors the :class:`~repro.sim.simobject.SimObject` hierarchy."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._stats: List[Stat] = []
+        self._children: List["StatGroup"] = []
+
+    def add(self, stat: Stat) -> Stat:
+        self._stats.append(stat)
+        return stat
+
+    def scalar(self, name: str, desc: str = "") -> Scalar:
+        return self.add(Scalar(name, desc))  # type: ignore[return-value]
+
+    def average(self, name: str, desc: str = "") -> Average:
+        return self.add(Average(name, desc))  # type: ignore[return-value]
+
+    def distribution(self, name: str, desc: str = "") -> Distribution:
+        return self.add(Distribution(name, desc))  # type: ignore[return-value]
+
+    def formula(self, name: str, func: Callable[[], Number], desc: str = "") -> Formula:
+        return self.add(Formula(name, func, desc))  # type: ignore[return-value]
+
+    def add_child(self, child: "StatGroup") -> "StatGroup":
+        self._children.append(child)
+        return child
+
+    def reset(self) -> None:
+        for stat in self._stats:
+            stat.reset()
+        for child in self._children:
+            child.reset()
+
+    def dump(self, prefix: str = "") -> Dict[str, Number]:
+        """Flatten the tree into ``{dotted.name: value}``."""
+        base = f"{prefix}{self.name}." if self.name else prefix
+        out: Dict[str, Number] = {}
+        for stat in self._stats:
+            for suffix, value in stat.dump().items():
+                out[f"{base}{stat.name}{suffix}"] = value
+        for child in self._children:
+            out.update(child.dump(base))
+        return out
+
+    def pretty(self) -> str:
+        """Human-readable multi-line dump, aligned like gem5's stats.txt."""
+        flat = self.dump()
+        if not flat:
+            return ""
+        width = max(len(key) for key in flat)
+        lines = []
+        for key, value in sorted(flat.items()):
+            if isinstance(value, float):
+                rendered = f"{value:.6g}"
+            else:
+                rendered = str(value)
+            lines.append(f"{key.ljust(width)}  {rendered}")
+        return "\n".join(lines)

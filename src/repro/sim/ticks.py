@@ -1,0 +1,84 @@
+"""Time units.
+
+Following gem5, simulated time is measured in integer *ticks* where one
+tick is one picosecond.  All latencies in the library are expressed in
+ticks; these helpers convert to and from human units.
+
+Ticks are plain ``int``; Python's arbitrary-precision integers mean a
+simulation can run for arbitrarily long without overflow.
+"""
+
+# One tick is one picosecond.
+PS = 1
+NS = 1_000
+US = 1_000_000
+MS = 1_000_000_000
+S = 1_000_000_000_000
+
+
+def from_ps(ps: float) -> int:
+    """Convert picoseconds to ticks (identity, rounded to int)."""
+    return round(ps)
+
+
+def from_ns(ns: float) -> int:
+    """Convert nanoseconds to ticks."""
+    return round(ns * NS)
+
+
+def from_us(us: float) -> int:
+    """Convert microseconds to ticks."""
+    return round(us * US)
+
+
+def from_ms(ms: float) -> int:
+    """Convert milliseconds to ticks."""
+    return round(ms * MS)
+
+
+def from_s(s: float) -> int:
+    """Convert seconds to ticks."""
+    return round(s * S)
+
+
+def to_ns(ticks: int) -> float:
+    """Convert ticks to nanoseconds."""
+    return ticks / NS
+
+
+def to_us(ticks: int) -> float:
+    """Convert ticks to microseconds."""
+    return ticks / US
+
+
+def to_ms(ticks: int) -> float:
+    """Convert ticks to milliseconds."""
+    return ticks / MS
+
+
+def to_s(ticks: int) -> float:
+    """Convert ticks to seconds."""
+    return ticks / S
+
+
+def from_frequency_hz(hz: float) -> int:
+    """Return the period, in ticks, of a clock running at ``hz`` hertz."""
+    if hz <= 0:
+        raise ValueError(f"frequency must be positive, got {hz}")
+    return round(S / hz)
+
+
+def gbps_to_bytes_per_tick(gbps: float) -> float:
+    """Convert a bit rate in Gbit/s to bytes per tick.
+
+    Useful for link bandwidth arithmetic: a Gen 2 lane at 5 Gbps moves
+    ``gbps_to_bytes_per_tick(5.0)`` bytes every picosecond.
+    """
+    bits_per_second = gbps * 1e9
+    bytes_per_second = bits_per_second / 8.0
+    return bytes_per_second / S
+
+
+def bytes_per_tick_to_gbps(bytes_per_tick: float) -> float:
+    """Inverse of :func:`gbps_to_bytes_per_tick`."""
+    return bytes_per_tick * S * 8.0 / 1e9

@@ -1,0 +1,17 @@
+"""Full-system assembly."""
+
+from repro.system.topology import (
+    PcieSystem,
+    build_validation_system,
+    build_nic_system,
+    build_dual_device_system,
+    build_classic_pci_system,
+)
+
+__all__ = [
+    "PcieSystem",
+    "build_validation_system",
+    "build_nic_system",
+    "build_dual_device_system",
+    "build_classic_pci_system",
+]

@@ -1,0 +1,392 @@
+"""Topology builders.
+
+Each builder assembles the full machine of the paper's Figures 3 and 6 —
+processor, MemBus, DRAM, IOCache, PCI host, root complex, PCI-Express
+links, optional switch, devices, kernel, drivers — boots it (PCI
+enumeration) and binds drivers, returning a :class:`PcieSystem` with
+handles to every component.
+
+``build_validation_system`` reproduces the paper's validation topology:
+
+    root complex ──Gen2 x4── switch ──Gen2 x1── IDE disk
+
+with the root-complex latency fixed at 150 ns, switch latency 150 ns,
+port buffers of 16 packets and replay buffers of 4 — every one of those
+knobs is a keyword argument because the paper's Figure 9 sweeps them.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.devices.disk import IdeDisk
+from repro.devices.nic import Nic8254xPcie
+from repro.drivers.e1000e import E1000eDriver
+from repro.drivers.ide import IdeDiskDriver
+from repro.kernel.kernel import KernelConfig, OsKernel
+from repro.mem.dram import SimpleMemory
+from repro.mem.iocache import IOCache
+from repro.mem.xbar import CoherentXBar
+from repro.pci.host import PciHost
+from repro.pcie.link import PcieLink
+from repro.pcie.root_complex import RootComplex
+from repro.pcie.switch import PcieSwitch
+from repro.pcie.timing import PcieGen
+from repro.platform.addrmap import VEXPRESS_GEM5_V1, AddressMap
+from repro.sim import ticks
+from repro.sim.simobject import SimObject, Simulator
+
+
+class PcieSystem:
+    """Handles to an assembled, booted system."""
+
+    def __init__(self, sim: Simulator, addrmap: AddressMap):
+        self.sim = sim
+        self.addrmap = addrmap
+        self.membus: Optional[CoherentXBar] = None
+        self.dram: Optional[SimpleMemory] = None
+        self.iocache: Optional[IOCache] = None
+        self.host: Optional[PciHost] = None
+        self.kernel: Optional[OsKernel] = None
+        self.root_complex: Optional[RootComplex] = None
+        self.switch: Optional[PcieSwitch] = None
+        self.links: Dict[str, PcieLink] = {}
+        self.devices: Dict[str, object] = {}
+        self.drivers: Dict[str, object] = {}
+        self.found_devices = []
+
+    # -- conveniences -------------------------------------------------------
+    @property
+    def disk(self) -> Optional[IdeDisk]:
+        return self.devices.get("disk")
+
+    @property
+    def nic(self) -> Optional[Nic8254xPcie]:
+        return self.devices.get("nic")
+
+    @property
+    def disk_driver(self) -> Optional[IdeDiskDriver]:
+        return self.drivers.get("disk")
+
+    @property
+    def nic_driver(self) -> Optional[E1000eDriver]:
+        return self.drivers.get("nic")
+
+    @property
+    def disk_link(self) -> Optional[PcieLink]:
+        return self.links.get("disk")
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        return self.sim.run(until=until, max_events=max_events)
+
+    def stats(self) -> dict:
+        return self.sim.dump_stats()
+
+
+def _build_core(sim: Simulator, addrmap: AddressMap,
+                kernel_config: Optional[KernelConfig]) -> PcieSystem:
+    """The common substrate: MemBus + DRAM + IOCache + host + kernel."""
+    system = PcieSystem(sim, addrmap)
+    system.membus = CoherentXBar(
+        sim, "membus",
+        frontend_latency=ticks.from_ns(1),
+        forward_latency=ticks.from_ns(1),
+        width=64,
+        queue_depth=16,
+    )
+    system.dram = SimpleMemory(sim, "dram", addrmap.dram)
+    system.dram.port.bind(system.membus.attach_slave("dram_side"))
+    system.host = PciHost(sim, ecam_base=addrmap.pci_config.start,
+                          ecam_size=addrmap.pci_config.size)
+    system.host.port.bind(system.membus.attach_slave("pci_host_side"))
+    system.kernel = OsKernel(sim, config=kernel_config)
+    system.kernel.cpu.port.bind(system.membus.attach_master("cpu"))
+    system.iocache = IOCache(sim, "iocache")
+    system.iocache.mem_side.bind(system.membus.attach_master("iocache_side"))
+    return system
+
+
+def _attach_msi_doorbell(system: PcieSystem) -> None:
+    """Give the platform an MSI doorbell (the extension path): devices
+    whose MSI capability the driver enables interrupt by posting memory
+    writes here instead of wiggling INTx."""
+    from repro.kernel.interrupts import MsiDoorbell
+
+    doorbell = MsiDoorbell(system.sim, intc=system.kernel.intc)
+    doorbell.port.bind(system.membus.attach_slave("msi_doorbell_side"))
+    system.devices["msi_doorbell"] = doorbell
+    system.kernel.msi_target_addr = doorbell.range.start
+
+
+def _attach_root_complex(system: PcieSystem, root_complex: RootComplex) -> None:
+    root_complex.upstream_slave.bind(system.membus.attach_slave("rc_side"))
+    root_complex.upstream_master.bind(system.iocache.cpu_side)
+    system.root_complex = root_complex
+
+
+def _connect_link(link: PcieLink, upstream_port, device=None, switch=None) -> None:
+    """Wire a link between an RC/switch port (upstream end) and either a
+    device or a switch upstream port (downstream end)."""
+    upstream_port.master_port.bind(link.upstream_if.slave_port)
+    link.upstream_if.master_port.bind(upstream_port.slave_port)
+    if device is not None:
+        link.downstream_if.master_port.bind(device.pio_port)
+        device.dma_port.bind(link.downstream_if.slave_port)
+    elif switch is not None:
+        link.downstream_if.master_port.bind(switch.upstream_slave)
+        switch.upstream_master.bind(link.downstream_if.slave_port)
+    else:
+        raise ValueError("link needs a device or a switch at its downstream end")
+
+
+def _boot_and_bind(system: PcieSystem, driver_specs: List[tuple]) -> None:
+    """Enumerate, then bind (name, driver, device_model) triples."""
+    kernel = system.kernel
+    system.found_devices = kernel.boot(
+        system.host,
+        mem_window=system.addrmap.pci_mem,
+        io_window=system.addrmap.pci_io,
+    )
+    device_map = {}
+    for node in kernel.enumerator.all_devices():
+        if node.is_bridge:
+            continue
+        for __, __, model in driver_specs:
+            if system.host.function_at(*node.bdf) is model.function:
+                device_map[node.bdf] = model
+    kernel.bind_drivers([drv for __, drv, __ in driver_specs], device_map)
+    for name, driver, model in driver_specs:
+        system.drivers[name] = driver
+        model.intc = kernel.intc
+
+
+def build_validation_system(
+    sim: Optional[Simulator] = None,
+    addrmap: AddressMap = VEXPRESS_GEM5_V1,
+    gen: PcieGen = PcieGen.GEN2,
+    root_link_width: int = 4,
+    device_link_width: int = 1,
+    rc_latency: int = ticks.from_ns(150),
+    switch_latency: int = ticks.from_ns(150),
+    buffer_size: int = 16,
+    replay_buffer_size: int = 4,
+    service_interval: int = ticks.from_ns(42),
+    datapath_scope: str = "port",
+    ack_policy: str = "immediate",
+    error_rate: float = 0.0,
+    posted_writes: bool = False,
+    disk_access_latency: int = ticks.from_us(1),
+    enable_msi: bool = False,
+    kernel_config: Optional[KernelConfig] = None,
+) -> PcieSystem:
+    """The paper's validation topology (Section VI-A).
+
+    "We instantiate a PCI-Express switch, connect it to a root complex
+    root port with a Gen 2 x4 link and attach the IDE disk to one of
+    the switch downstream ports using a Gen 2 x1 link."
+    """
+    sim = sim or Simulator()
+    system = _build_core(sim, addrmap, kernel_config)
+
+    root_complex = RootComplex(
+        sim, num_root_ports=3,
+        latency=rc_latency, buffer_size=buffer_size,
+        service_interval=service_interval, datapath_scope=datapath_scope,
+        link_speed=gen.speed_code, link_width=root_link_width,
+    )
+    _attach_root_complex(system, root_complex)
+
+    switch = PcieSwitch(
+        sim, num_downstream_ports=2,
+        latency=switch_latency, buffer_size=buffer_size,
+        service_interval=service_interval, datapath_scope=datapath_scope,
+        link_speed=gen.speed_code, link_width=device_link_width,
+    )
+    system.switch = switch
+
+    root_link = PcieLink(
+        sim, "root_link", gen=gen, width=root_link_width,
+        replay_buffer_size=replay_buffer_size, ack_policy=ack_policy,
+        error_rate=error_rate,
+    )
+    _connect_link(root_link, root_complex.root_ports[0], switch=switch)
+    system.links["root"] = root_link
+
+    if enable_msi:
+        _attach_msi_doorbell(system)
+    disk = IdeDisk(sim, access_latency=disk_access_latency,
+                   posted_writes=posted_writes, msi_functional=enable_msi)
+    system.devices["disk"] = disk
+    disk_link = PcieLink(
+        sim, "disk_link", gen=gen, width=device_link_width,
+        replay_buffer_size=replay_buffer_size, ack_policy=ack_policy,
+        error_rate=error_rate,
+    )
+    _connect_link(disk_link, switch.downstream_ports[0], device=disk)
+    system.links["disk"] = disk_link
+
+    # Configuration-space tree: root ports on bus 0, the switch behind
+    # root port 0, the disk behind switch downstream port 0.
+    rp_buses = root_complex.register_with_host(system.host)
+    down_buses = switch.register_with_host(rp_buses[0])
+    down_buses[0].add_function(0, 0, disk.function)
+
+    _boot_and_bind(system, [("disk", IdeDiskDriver(), disk)])
+    return system
+
+
+def build_nic_system(
+    sim: Optional[Simulator] = None,
+    addrmap: AddressMap = VEXPRESS_GEM5_V1,
+    gen: PcieGen = PcieGen.GEN2,
+    link_width: int = 1,
+    rc_latency: int = ticks.from_ns(150),
+    buffer_size: int = 16,
+    replay_buffer_size: int = 4,
+    service_interval: int = ticks.from_ns(42),
+    datapath_scope: str = "port",
+    ack_policy: str = "immediate",
+    enable_msi: bool = False,
+    kernel_config: Optional[KernelConfig] = None,
+) -> PcieSystem:
+    """The Table II topology: a NIC directly on a root port, with the
+    root-complex latency swept."""
+    sim = sim or Simulator()
+    system = _build_core(sim, addrmap, kernel_config)
+
+    root_complex = RootComplex(
+        sim, num_root_ports=3,
+        latency=rc_latency, buffer_size=buffer_size,
+        service_interval=service_interval, datapath_scope=datapath_scope,
+        link_speed=gen.speed_code, link_width=link_width,
+    )
+    _attach_root_complex(system, root_complex)
+
+    if enable_msi:
+        _attach_msi_doorbell(system)
+    nic = Nic8254xPcie(sim, msi_functional=enable_msi)
+    system.devices["nic"] = nic
+    nic_link = PcieLink(sim, "nic_link", gen=gen, width=link_width,
+                        replay_buffer_size=replay_buffer_size,
+                        ack_policy=ack_policy)
+    _connect_link(nic_link, root_complex.root_ports[0], device=nic)
+    system.links["nic"] = nic_link
+
+    rp_buses = root_complex.register_with_host(system.host)
+    rp_buses[0].add_function(0, 0, nic.function)
+
+    _boot_and_bind(system, [("nic", E1000eDriver(), nic)])
+    return system
+
+
+def build_dual_device_system(
+    sim: Optional[Simulator] = None,
+    addrmap: AddressMap = VEXPRESS_GEM5_V1,
+    gen: PcieGen = PcieGen.GEN2,
+    root_link_width: int = 4,
+    device_link_width: int = 1,
+    rc_latency: int = ticks.from_ns(150),
+    switch_latency: int = ticks.from_ns(150),
+    buffer_size: int = 16,
+    replay_buffer_size: int = 4,
+    service_interval: int = ticks.from_ns(42),
+    datapath_scope: str = "port",
+    ack_policy: str = "immediate",
+    kernel_config: Optional[KernelConfig] = None,
+) -> PcieSystem:
+    """A richer topology for the examples: the disk behind switch port 0
+    and the NIC behind switch port 1, sharing the root link."""
+    sim = sim or Simulator()
+    system = _build_core(sim, addrmap, kernel_config)
+
+    root_complex = RootComplex(
+        sim, num_root_ports=3,
+        latency=rc_latency, buffer_size=buffer_size,
+        service_interval=service_interval, datapath_scope=datapath_scope,
+        link_speed=gen.speed_code, link_width=root_link_width,
+    )
+    _attach_root_complex(system, root_complex)
+
+    switch = PcieSwitch(
+        sim, num_downstream_ports=2,
+        latency=switch_latency, buffer_size=buffer_size,
+        service_interval=service_interval, datapath_scope=datapath_scope,
+        link_speed=gen.speed_code, link_width=device_link_width,
+    )
+    system.switch = switch
+    root_link = PcieLink(sim, "root_link", gen=gen, width=root_link_width,
+                         replay_buffer_size=replay_buffer_size,
+                         ack_policy=ack_policy)
+    _connect_link(root_link, root_complex.root_ports[0], switch=switch)
+    system.links["root"] = root_link
+
+    disk = IdeDisk(sim)
+    nic = Nic8254xPcie(sim)
+    system.devices["disk"] = disk
+    system.devices["nic"] = nic
+    disk_link = PcieLink(sim, "disk_link", gen=gen, width=device_link_width,
+                         replay_buffer_size=replay_buffer_size,
+                         ack_policy=ack_policy)
+    nic_link = PcieLink(sim, "nic_link", gen=gen, width=device_link_width,
+                        replay_buffer_size=replay_buffer_size,
+                        ack_policy=ack_policy)
+    _connect_link(disk_link, switch.downstream_ports[0], device=disk)
+    _connect_link(nic_link, switch.downstream_ports[1], device=nic)
+    system.links["disk"] = disk_link
+    system.links["nic"] = nic_link
+
+    rp_buses = root_complex.register_with_host(system.host)
+    down_buses = switch.register_with_host(rp_buses[0])
+    down_buses[0].add_function(0, 0, disk.function)
+    down_buses[1].add_function(0, 0, nic.function)
+
+    _boot_and_bind(
+        system,
+        [("disk", IdeDiskDriver(), disk), ("nic", E1000eDriver(), nic)],
+    )
+    return system
+
+
+def build_classic_pci_system(
+    sim: Optional[Simulator] = None,
+    addrmap: AddressMap = VEXPRESS_GEM5_V1,
+    clock_mhz: int = 33,
+    disk_access_latency: int = ticks.from_us(1),
+    kernel_config: Optional[KernelConfig] = None,
+) -> PcieSystem:
+    """The pre-PCI-Express baseline: the same IDE-like disk on a classic
+    shared PCI bus (Section II-A) instead of the PCI-Express fabric.
+
+    CPU requests cross a host bridge onto the shared bus; the disk's DMA
+    masters the same bus toward memory (through the IOCache).  Useful
+    only for the PCI-vs-PCIe ablation — everything else in the paper
+    assumes the PCI-Express fabric.
+    """
+    from repro.mem.bridge import Bridge
+    from repro.pci.bus import PciBus
+
+    sim = sim or Simulator()
+    system = _build_core(sim, addrmap, kernel_config)
+
+    bus = PciBus(sim, clock_mhz=clock_mhz)
+    system.devices["pci_bus"] = bus
+
+    disk = IdeDisk(sim, access_latency=disk_access_latency)
+    system.devices["disk"] = disk
+
+    # CPU -> membus -> host bridge -> shared bus -> disk PIO.
+    host_bridge = Bridge(sim, "host_bridge", delay=ticks.from_ns(100))
+    host_bridge.slave_port.get_ranges = lambda: disk.function.bar_ranges(
+        require_enable=False
+    )
+    host_bridge.slave_port.bind(system.membus.attach_slave("host_bridge_side"))
+    host_bridge.master_port.bind(bus.attach_master("host_bridge"))
+    bus.attach_target("disk_side").bind(disk.pio_port)
+
+    # Disk DMA -> shared bus -> memory target -> IOCache -> membus.
+    disk.dma_port.bind(bus.attach_master("disk_dma"))
+    bus.attach_target(
+        "memory_side", ranges=lambda: [addrmap.dram]
+    ).bind(system.iocache.cpu_side)
+
+    system.host.root_bus.add_function(1, 0, disk.function)
+    _boot_and_bind(system, [("disk", IdeDiskDriver(), disk)])
+    return system

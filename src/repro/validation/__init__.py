@@ -1,0 +1,5 @@
+"""Validation references."""
+
+from repro.validation.physical_reference import PhysicalSetup, phys_dd_series
+
+__all__ = ["PhysicalSetup", "phys_dd_series"]

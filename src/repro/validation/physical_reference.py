@@ -1,0 +1,94 @@
+"""The physical-machine reference model (the ``phys`` series).
+
+The paper validates against a real machine: a Xeon E5-2660 v4 whose X99
+PCH exposes a Gen 2 x1 slot holding an Intel P3700 SSD (sequential read
+2800 MB/s — far above the link, so the link is the bottleneck), measured
+with single-block ``dd`` direct-I/O reads of 64–512 MB.
+
+We cannot measure that hardware here, so — per the substitution policy
+in DESIGN.md — the ``phys`` curve is generated from a first-principles
+model of the same setup.  It captures the two effects that define the
+measured curve's shape:
+
+* a **wire-rate ceiling**: a Gen 2 lane moves 4 Gbps after 8b/10b
+  encoding; each 64 B read-completion TLP carries 20 B of header /
+  framing overhead, and the host adds a small per-transaction
+  efficiency loss (flow-control updates, read-request latency bubbles);
+* a **fixed software cost** per ``dd`` invocation (exec, ``open``,
+  direct-I/O buffer setup) that amortises with block size — which is
+  why the measured throughput *grows* with block size.
+
+The defaults give a ceiling of ≈3.35 Gbps, consistent with the paper's
+statement that the reported bandwidth sits somewhat below the 4 Gbps
+encoded maximum and 10–20 % above their gem5 model.
+"""
+
+from typing import Dict, Iterable
+
+from repro.pcie.timing import LinkTiming, PcieGen, TLP_OVERHEAD_BYTES
+from repro.sim import ticks
+
+
+class PhysicalSetup:
+    """Analytic model of the paper's physical testbed.
+
+    Args:
+        gen: link generation of the slot (Gen 2).
+        width: lane count of the slot (x1).
+        payload: completion payload per TLP (the host's 64 B lines).
+        host_efficiency: multiplicative efficiency of everything the
+            wire model does not capture (flow control, root-complex
+            scheduling); calibrated so the ceiling lands where the
+            paper's ``phys`` bars do.
+        startup_cost: fixed per-run software cost, in ticks.
+        device_bandwidth_gbps: the SSD's internal sequential-read rate
+            (P3700: 2800 MB/s = 22.4 Gbps); only matters if it ever
+            drops below the link rate.
+    """
+
+    def __init__(
+        self,
+        gen: PcieGen = PcieGen.GEN2,
+        width: int = 1,
+        payload: int = 64,
+        host_efficiency: float = 0.94,
+        startup_cost: int = ticks.from_us(450),
+        device_bandwidth_gbps: float = 22.4,
+    ):
+        if not 0 < host_efficiency <= 1:
+            raise ValueError("host efficiency must be in (0, 1]")
+        self.timing = LinkTiming(gen, width)
+        self.payload = payload
+        self.host_efficiency = host_efficiency
+        self.startup_cost = startup_cost
+        self.device_bandwidth_gbps = device_bandwidth_gbps
+
+    @property
+    def wire_rate_gbps(self) -> float:
+        """Payload throughput of back-to-back completion TLPs."""
+        per_tlp = self.timing.transmission_ticks(
+            self.payload + TLP_OVERHEAD_BYTES
+        )
+        return self.payload * 8 / ticks.to_ns(per_tlp)
+
+    @property
+    def ceiling_gbps(self) -> float:
+        """Steady-state throughput: link wire rate times host
+        efficiency, capped by the device's internal bandwidth."""
+        return min(self.wire_rate_gbps * self.host_efficiency,
+                   self.device_bandwidth_gbps)
+
+    def dd_throughput_gbps(self, block_bytes: int) -> float:
+        """What ``dd`` reports for one block of ``block_bytes``."""
+        if block_bytes < 1:
+            raise ValueError("block must be at least one byte")
+        transfer_ticks = block_bytes * 8 / self.ceiling_gbps * ticks.NS
+        total_ticks = self.startup_cost + transfer_ticks
+        return block_bytes * 8 / ticks.to_ns(total_ticks)
+
+
+def phys_dd_series(block_sizes: Iterable[int],
+                   setup: PhysicalSetup = None) -> Dict[int, float]:
+    """The ``phys`` series of Figure 9(a): block size → Gbps."""
+    setup = setup or PhysicalSetup()
+    return {block: setup.dd_throughput_gbps(block) for block in block_sizes}

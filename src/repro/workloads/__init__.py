@@ -1,0 +1,6 @@
+"""Workload models: the software the paper's evaluation runs."""
+
+from repro.workloads.dd import DdWorkload, DdResult
+from repro.workloads.mmio import MmioReadBench
+
+__all__ = ["DdWorkload", "DdResult", "MmioReadBench"]

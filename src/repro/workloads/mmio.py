@@ -1,0 +1,45 @@
+"""The MMIO-latency kernel module (Table II).
+
+The paper: "We create a kernel module and measure the time taken to
+access a location in the NIC memory space" — a 4-byte MMIO read,
+repeated while sweeping the root-complex latency.  This is that kernel
+module: it issues ``iterations`` dependent 4-byte reads of a device
+register and records each round-trip time.
+"""
+
+from typing import List, Optional
+
+from repro.sim import ticks
+
+
+class MmioReadBench:
+    """Measure 4-byte MMIO read latency from a kernel process.
+
+    Args:
+        kernel: the OS kernel (supplies the processor).
+        addr: register address to read (e.g. NIC BAR0 + STATUS).
+        iterations: dependent reads to issue.
+    """
+
+    def __init__(self, kernel, addr: int, iterations: int = 100):
+        if iterations < 1:
+            raise ValueError("need at least one iteration")
+        self.kernel = kernel
+        self.addr = addr
+        self.iterations = iterations
+        self.latencies_ticks: List[int] = []
+
+    def run(self):
+        """The process generator: spawn with ``kernel.spawn``."""
+        cpu = self.kernel.cpu
+        for __ in range(self.iterations):
+            start = self.kernel.curtick
+            yield from cpu.timed_read(self.addr, 4)
+            self.latencies_ticks.append(self.kernel.curtick - start)
+        return self.latencies_ticks
+
+    @property
+    def mean_latency_ns(self) -> Optional[float]:
+        if not self.latencies_ticks:
+            return None
+        return ticks.to_ns(sum(self.latencies_ticks)) / len(self.latencies_ticks)

@@ -1,0 +1,54 @@
+"""Unit tests for the reporting helpers."""
+
+from repro.analysis.report import Series, Table, format_table
+
+
+def test_series_accumulates_points():
+    s = Series("phys")
+    s.add(64, 3.1)
+    s.add(128, 3.2)
+    assert s[64] == 3.1
+    assert s.xs() == [64, 128]
+
+
+def test_table_collects_xs_across_series():
+    t = Table("Fig 9(a)", "block_MB", "Gbps")
+    a = t.new_series("phys")
+    b = t.new_series("L150")
+    a.add(64, 3.1)
+    b.add(128, 2.6)
+    assert t.xs() == [64, 128]
+
+
+def test_format_table_renders_missing_as_dash():
+    t = Table("demo", "x", "y")
+    a = t.new_series("a")
+    a.add(1, 1.0)
+    b = t.new_series("b")
+    b.add(2, 2.0)
+    text = format_table(t, "{:.1f}")
+    assert "demo" in text
+    lines = text.splitlines()
+    assert lines[1].split() == ["x", "a", "b"]
+    assert "-" in lines[3]  # series b has no x=1 point
+    assert "1.0" in text and "2.0" in text
+
+
+def test_format_empty_table():
+    t = Table("empty", "x", "y")
+    t.new_series("a")
+    assert "empty" in format_table(t)
+
+
+def test_link_replay_stats_shape():
+    from repro.analysis.report import link_replay_stats
+    from repro.pcie.link import PcieLink
+    from repro.sim.simobject import Simulator
+
+    link = PcieLink(Simulator(), "l")
+    stats = link_replay_stats(link)
+    assert stats["tlps_sent"] == 0
+    assert stats["replay_fraction"] == 0.0
+    assert set(stats) == {
+        "tlps_sent", "replays", "timeouts", "replay_fraction", "delivery_refused"
+    }

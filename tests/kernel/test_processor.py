@@ -1,0 +1,76 @@
+"""Unit tests for the abstract processor."""
+
+from repro.kernel.processor import Processor
+from repro.mem.packet import MemCmd
+from repro.sim import ticks
+from repro.sim.process import Process
+from repro.sim.simobject import Simulator
+
+from tests.mem.helpers import FakeSlave
+
+
+def build(sim, latency=ticks.from_ns(100)):
+    cpu = Processor(sim)
+    target = FakeSlave(sim, "target", latency=latency)
+    cpu.port.bind(target.port)
+    return cpu, target
+
+
+def test_timed_read_returns_response_and_takes_time():
+    sim = Simulator()
+    cpu, target = build(sim)
+    results = {}
+
+    def body():
+        resp = yield from cpu.timed_read(0x1000, 4)
+        results["value"] = cpu.read_value(resp)
+        results["tick"] = sim.curtick
+
+    Process(sim, "p", body())
+    sim.run()
+    assert results["value"] == 0
+    assert results["tick"] >= ticks.from_ns(100)
+    assert cpu.reads_issued.value() == 1
+
+
+def test_timed_write_carries_payload():
+    sim = Simulator()
+    cpu, target = build(sim)
+
+    def body():
+        yield from cpu.timed_write(0x2000, 0xCAFE, 4)
+
+    Process(sim, "p", body())
+    sim.run()
+    assert target.requests[0].cmd is MemCmd.WRITE_REQ
+    assert target.requests[0].data == (0xCAFE).to_bytes(4, "little")
+    assert cpu.writes_issued.value() == 1
+
+
+def test_mmio_latency_distribution_sampled():
+    sim = Simulator()
+    cpu, target = build(sim, latency=ticks.from_ns(200))
+
+    def body():
+        for __ in range(3):
+            yield from cpu.timed_read(0x1000, 4)
+
+    Process(sim, "p", body())
+    sim.run()
+    assert cpu.mmio_latency.count == 3
+    assert cpu.mmio_latency.mean >= ticks.from_ns(200)
+
+
+def test_concurrent_processes_issue_independently():
+    sim = Simulator()
+    cpu, target = build(sim)
+    done = []
+
+    def body(i):
+        yield from cpu.timed_read(0x1000 + i * 4, 4)
+        done.append(i)
+
+    for i in range(4):
+        Process(sim, f"p{i}", body(i))
+    sim.run()
+    assert sorted(done) == [0, 1, 2, 3]

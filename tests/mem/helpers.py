@@ -1,0 +1,98 @@
+"""Reusable fake devices for memory-system tests."""
+
+from typing import List, Optional
+
+from repro.mem.addr import AddrRange
+from repro.mem.packet import MemCmd, Packet
+from repro.mem.port import MasterPort, PacketQueue, SlavePort
+from repro.sim.simobject import SimObject, Simulator
+
+
+class FakeMaster(SimObject):
+    """Issues requests through a master port; records responses.
+
+    Queues requests internally and honours the retry protocol, so tests
+    can blast packets at components with tiny buffers.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "master"):
+        super().__init__(sim, name)
+        self.port = MasterPort(
+            self,
+            "port",
+            recv_timing_resp=self._recv_resp,
+            recv_req_retry=lambda: self._queue.retry(),
+        )
+        self._queue = PacketQueue(self, "outq", self.port.send_timing_req, 1024)
+        self.responses: List[Packet] = []
+        self.response_ticks: List[int] = []
+        self.refused_responses = 0
+
+    def read(self, addr: int, size: int = 64, delay: int = 0) -> Packet:
+        pkt = Packet(MemCmd.READ_REQ, addr, size, requestor=self.full_name,
+                     create_tick=self.curtick)
+        self._queue.push(pkt, delay)
+        return pkt
+
+    def write(self, addr: int, size: int = 64, delay: int = 0,
+              data: Optional[bytes] = None) -> Packet:
+        pkt = Packet(MemCmd.WRITE_REQ, addr, size,
+                     data=data if data is not None else bytes(size),
+                     requestor=self.full_name, create_tick=self.curtick)
+        self._queue.push(pkt, delay)
+        return pkt
+
+    def _recv_resp(self, pkt: Packet) -> bool:
+        self.responses.append(pkt)
+        self.response_ticks.append(self.curtick)
+        return True
+
+
+class FakeSlave(SimObject):
+    """Responds to every request after ``latency`` ticks.
+
+    ``max_outstanding`` bounds buffered requests; beyond it the slave
+    refuses, exercising the retry path of whatever sits upstream.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "slave",
+        ranges: Optional[List[AddrRange]] = None,
+        latency: int = 100,
+        max_outstanding: int = 64,
+    ):
+        super().__init__(sim, name)
+        self.latency = latency
+        self.max_outstanding = max_outstanding
+        self._in_flight = 0
+        self.port = SlavePort(
+            self,
+            "port",
+            recv_timing_req=self._recv_req,
+            recv_resp_retry=lambda: self._respq.retry(),
+            ranges=ranges or [AddrRange(0, 1 << 48)],
+        )
+        self._respq = PacketQueue(self, "respq", self._send_resp, 4096)
+        self.requests: List[Packet] = []
+        self.request_ticks: List[int] = []
+
+    def _recv_req(self, pkt: Packet) -> bool:
+        if self._in_flight >= self.max_outstanding:
+            return False
+        self.requests.append(pkt)
+        self.request_ticks.append(self.curtick)
+        if not pkt.needs_response:
+            return True
+        self._in_flight += 1
+        self._respq.push(pkt.make_response(), self.latency)
+        return True
+
+    def _send_resp(self, pkt: Packet) -> bool:
+        if not self.port.send_timing_resp(pkt):
+            return False
+        self._in_flight -= 1
+        if self.port.retry_owed:
+            self.port.send_retry_req()
+        return True

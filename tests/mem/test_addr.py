@@ -1,0 +1,68 @@
+"""Unit tests for address ranges."""
+
+import pytest
+
+from repro.mem.addr import AddrRange, disjoint, union_span
+
+
+def test_contains_half_open():
+    r = AddrRange(0x1000, 0x100)
+    assert r.contains(0x1000)
+    assert r.contains(0x10FF)
+    assert not r.contains(0x1100)
+    assert not r.contains(0xFFF)
+    assert 0x1000 in r
+
+
+def test_size_and_end():
+    r = AddrRange(0x2000, end=0x3000)
+    assert r.size == 0x1000
+    assert AddrRange(0x2000, 0x1000) == r
+
+
+def test_negative_range_rejected():
+    with pytest.raises(ValueError):
+        AddrRange(0x1000, end=0x500)
+
+
+def test_overlaps():
+    a = AddrRange(0x0, 0x100)
+    b = AddrRange(0x80, 0x100)
+    c = AddrRange(0x100, 0x100)
+    assert a.overlaps(b) and b.overlaps(a)
+    assert not a.overlaps(c)  # half-open intervals touching don't overlap
+
+
+def test_contains_range():
+    outer = AddrRange(0x0, 0x1000)
+    inner = AddrRange(0x100, 0x100)
+    assert outer.contains_range(inner)
+    assert not inner.contains_range(outer)
+    assert outer.contains_range(outer)
+
+
+def test_offset():
+    r = AddrRange(0x1000, 0x100)
+    assert r.offset(0x1040) == 0x40
+    with pytest.raises(ValueError):
+        r.offset(0x2000)
+
+
+def test_hash_and_equality():
+    assert len({AddrRange(0, 10), AddrRange(0, 10), AddrRange(0, 11)}) == 2
+
+
+def test_union_span():
+    span = union_span([AddrRange(0x4000, 0x100), AddrRange(0x1000, 0x100)])
+    assert span.start == 0x1000
+    assert span.end == 0x4100
+
+
+def test_union_span_empty_raises():
+    with pytest.raises(ValueError):
+        union_span([])
+
+
+def test_disjoint():
+    assert disjoint([AddrRange(0, 10), AddrRange(10, 10), AddrRange(100, 5)])
+    assert not disjoint([AddrRange(0, 11), AddrRange(10, 10)])

@@ -1,0 +1,61 @@
+"""Unit tests for the bridge."""
+
+from repro.mem.addr import AddrRange
+from repro.mem.bridge import Bridge
+from repro.mem.packet import MemCmd
+from repro.sim.simobject import Simulator
+
+from tests.mem.helpers import FakeMaster, FakeSlave
+
+
+def build(sim, **kwargs):
+    bridge = Bridge(sim, "bridge", ranges=[AddrRange(0x0, 0x100000)], **kwargs)
+    master = FakeMaster(sim)
+    slave = FakeSlave(sim, latency=100)
+    master.port.bind(bridge.slave_port)
+    bridge.master_port.bind(slave.port)
+    return bridge, master, slave
+
+
+def test_request_and_response_delayed():
+    sim = Simulator()
+    bridge, master, slave = build(sim, delay=1_000)
+    master.read(0x40, 64)
+    sim.run()
+    assert slave.request_ticks == [1_000]
+    assert master.response_ticks == [1_000 + 100 + 1_000]
+
+
+def test_ranges_reprogrammable():
+    sim = Simulator()
+    bridge, *_ = build(sim)
+    bridge.set_ranges([AddrRange(0x30000000, 0x1000)])
+    assert bridge.slave_port.get_ranges() == [AddrRange(0x30000000, 0x1000)]
+
+
+def test_bounded_request_queue_refuses_then_recovers():
+    sim = Simulator()
+    bridge, master, slave = build(sim, delay=1_000, req_queue_size=2)
+    for i in range(8):
+        master.read(i * 64, 64)
+    sim.run()
+    assert len(master.responses) == 8
+    assert len(slave.requests) == 8
+
+
+def test_bounded_response_queue_backpressure():
+    sim = Simulator()
+    bridge, master, slave = build(sim, delay=1_000, resp_queue_size=1)
+    for i in range(4):
+        master.read(i * 64, 64)
+    sim.run()
+    assert len(master.responses) == 4
+
+
+def test_forwarded_stat():
+    sim = Simulator()
+    bridge, master, slave = build(sim)
+    master.write(0x0, 64)
+    master.read(0x40, 64)
+    sim.run()
+    assert bridge.forwarded.value() == 2

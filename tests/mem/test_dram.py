@@ -1,0 +1,77 @@
+"""Unit tests for the simple DRAM controller."""
+
+import pytest
+
+from repro.mem.addr import AddrRange
+from repro.mem.dram import SimpleMemory
+from repro.mem.packet import MemCmd, Packet
+from repro.sim import ticks
+from repro.sim.simobject import Simulator
+
+from tests.mem.helpers import FakeMaster
+
+DRAM_BASE = 0x80000000
+
+
+def build(sim, **kwargs):
+    mem = SimpleMemory(sim, "dram", AddrRange(DRAM_BASE, 1 << 30), **kwargs)
+    master = FakeMaster(sim)
+    master.port.bind(mem.port)
+    return mem, master
+
+
+def test_fixed_latency_read():
+    sim = Simulator()
+    mem, master = build(sim, latency=ticks.from_ns(30), bandwidth=0)
+    master.read(DRAM_BASE, 64)
+    sim.run()
+    assert master.response_ticks == [ticks.from_ns(30)]
+    assert mem.reads.value() == 1
+    assert mem.bytes_read.value() == 64
+
+
+def test_bandwidth_serializes_consecutive_accesses():
+    sim = Simulator()
+    # 1 byte per tick -> a 64B access occupies 64 ticks of service.
+    mem, master = build(sim, latency=0, bandwidth=1.0)
+    master.read(DRAM_BASE, 64)
+    master.read(DRAM_BASE + 64, 64)
+    sim.run()
+    assert master.response_ticks == [64, 128]
+
+
+def test_zero_bandwidth_means_unlimited():
+    sim = Simulator()
+    mem, master = build(sim, latency=100, bandwidth=0)
+    for i in range(4):
+        master.read(DRAM_BASE + i * 64, 64)
+    sim.run()
+    assert master.response_ticks == [100] * 4
+
+
+def test_write_counts_and_responds():
+    sim = Simulator()
+    mem, master = build(sim, latency=50, bandwidth=0)
+    master.write(DRAM_BASE, 128)
+    sim.run()
+    assert mem.writes.value() == 1
+    assert mem.bytes_written.value() == 128
+    assert master.responses[0].cmd is MemCmd.WRITE_RESP
+
+
+def test_outstanding_bound_backpressures():
+    sim = Simulator()
+    mem, master = build(sim, latency=1_000, bandwidth=0, max_outstanding=2)
+    for i in range(10):
+        master.read(DRAM_BASE + i * 64, 64)
+    sim.run()
+    assert len(master.responses) == 10
+
+
+def test_posted_message_consumed_without_response():
+    sim = Simulator()
+    mem, master = build(sim)
+    master._queue.push(Packet(MemCmd.MESSAGE, DRAM_BASE, 4, data=bytes(4)))
+    sim.run()
+    assert mem.writes.value() == 1
+    assert master.responses == []

@@ -1,0 +1,80 @@
+"""Unit tests for packets and commands."""
+
+import pytest
+
+from repro.mem.packet import MemCmd, Packet
+
+
+def test_command_taxonomy():
+    assert MemCmd.READ_REQ.is_request and MemCmd.READ_REQ.is_read
+    assert MemCmd.WRITE_RESP.is_response and MemCmd.WRITE_RESP.is_write
+    assert MemCmd.CONFIG_READ_REQ.is_config
+    assert not MemCmd.READ_REQ.is_config
+    assert MemCmd.MESSAGE.is_request
+    assert not MemCmd.MESSAGE.needs_response
+
+
+def test_response_command_mapping():
+    assert MemCmd.READ_REQ.response_command is MemCmd.READ_RESP
+    assert MemCmd.CONFIG_WRITE_REQ.response_command is MemCmd.CONFIG_WRITE_RESP
+    with pytest.raises(ValueError):
+        MemCmd.READ_RESP.response_command
+
+
+def test_packet_ids_unique():
+    a = Packet(MemCmd.READ_REQ, 0, 64)
+    b = Packet(MemCmd.READ_REQ, 0, 64)
+    assert a.req_id != b.req_id
+
+
+def test_pci_bus_num_initialised_to_minus_one():
+    # Per the paper: "we create a PCI bus number field in the packet
+    # class, and initialize it to -1."
+    pkt = Packet(MemCmd.READ_REQ, 0x40000000, 64)
+    assert pkt.pci_bus_num == -1
+
+
+def test_make_response_preserves_identity_and_bus():
+    req = Packet(MemCmd.WRITE_REQ, 0x100, 64, data=bytes(64))
+    req.pci_bus_num = 2
+    resp = req.make_response()
+    assert resp.cmd is MemCmd.WRITE_RESP
+    assert resp.req_id == req.req_id
+    assert resp.pci_bus_num == 2
+    assert resp.addr == req.addr
+
+
+def test_read_response_gets_default_payload():
+    req = Packet(MemCmd.READ_REQ, 0x0, 32)
+    resp = req.make_response()
+    assert resp.data == bytes(32)
+    assert resp.payload_size == 32
+
+
+def test_payload_size_per_paper():
+    # "The maximum TLP payload size is 0 for a read request or a write
+    # response and is cache line size for a write request or read response."
+    read_req = Packet(MemCmd.READ_REQ, 0, 64)
+    write_req = Packet(MemCmd.WRITE_REQ, 0, 64, data=bytes(64))
+    assert read_req.payload_size == 0
+    assert write_req.payload_size == 64
+    assert read_req.make_response().payload_size == 64
+    assert write_req.make_response().payload_size == 0
+
+
+def test_write_payload_length_must_match():
+    with pytest.raises(ValueError):
+        Packet(MemCmd.WRITE_REQ, 0, 64, data=bytes(10))
+
+
+def test_posted_message_has_no_response():
+    msg = Packet(MemCmd.MESSAGE, 0xFEE00000, 4, data=bytes(4))
+    assert msg.posted
+    assert not msg.needs_response
+    with pytest.raises(ValueError):
+        msg.make_response()
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        Packet(MemCmd.READ_REQ, 0, -1)

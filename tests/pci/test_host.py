@@ -1,0 +1,142 @@
+"""Unit tests for the PCI host and structural config routing."""
+
+import pytest
+
+from repro.mem.packet import MemCmd, Packet
+from repro.pci import header as hdr
+from repro.pci.header import Bar, PciBridgeFunction, PciEndpointFunction
+from repro.pci.host import PciHost
+from repro.sim.simobject import Simulator
+
+from tests.mem.helpers import FakeMaster
+
+
+def test_ecam_encode_decode_round_trip():
+    sim = Simulator()
+    host = PciHost(sim)
+    addr = host.encode(3, 17, 2, 0x44)
+    assert host.decode(addr) == (3, 17, 2, 0x44)
+    assert host.ecam_range.contains(addr)
+
+
+def test_absent_device_reads_all_ones():
+    sim = Simulator()
+    host = PciHost(sim)
+    assert host.config_read(0, 5, 0, hdr.VENDOR_ID, 2) == 0xFFFF
+    assert host.config_read(9, 0, 0, hdr.VENDOR_ID, 4) == 0xFFFFFFFF
+    assert host.missed_accesses.value() == 2
+
+
+def test_write_to_absent_device_dropped():
+    sim = Simulator()
+    host = PciHost(sim)
+    host.config_write(0, 5, 0, hdr.COMMAND, 0x7, 2)  # must not raise
+    assert host.missed_accesses.value() == 1
+
+
+def test_bus0_device_reachable():
+    sim = Simulator()
+    host = PciHost(sim)
+    fn = PciEndpointFunction(0x8086, 0x10D3)
+    host.root_bus.add_function(2, 0, fn)
+    assert host.config_read(0, 2, 0, hdr.VENDOR_ID, 2) == 0x8086
+    host.config_write(0, 2, 0, hdr.COMMAND, hdr.CMD_MEM_SPACE, 2)
+    assert fn.memory_enabled
+
+
+def test_duplicate_slot_rejected():
+    sim = Simulator()
+    host = PciHost(sim)
+    host.root_bus.add_function(0, 0, PciEndpointFunction(1, 1))
+    with pytest.raises(ValueError):
+        host.root_bus.add_function(0, 0, PciEndpointFunction(2, 2))
+
+
+def test_device_behind_unconfigured_bridge_unreachable():
+    sim = Simulator()
+    host = PciHost(sim)
+    bridge = PciBridgeFunction(0x8086, 0x9C90)
+    child = host.root_bus.add_bridge(0, 0, bridge)
+    child.add_function(0, 0, PciEndpointFunction(0x8086, 0x10D3))
+    # Bridge still has secondary == 0: bus 1 resolves nowhere.
+    assert host.config_read(1, 0, 0, hdr.VENDOR_ID, 2) == 0xFFFF
+
+
+def test_config_cycles_route_through_programmed_bridge():
+    sim = Simulator()
+    host = PciHost(sim)
+    bridge = PciBridgeFunction(0x8086, 0x9C90)
+    child = host.root_bus.add_bridge(0, 0, bridge)
+    nic = PciEndpointFunction(0x8086, 0x10D3)
+    child.add_function(0, 0, nic)
+    host.config_write(0, 0, 0, hdr.SECONDARY_BUS, 1, 1)
+    host.config_write(0, 0, 0, hdr.SUBORDINATE_BUS, 1, 1)
+    assert host.config_read(1, 0, 0, hdr.DEVICE_ID, 2) == 0x10D3
+    assert host.function_at(1, 0, 0) is nic
+
+
+def test_nested_bridge_routing():
+    sim = Simulator()
+    host = PciHost(sim)
+    root_port = PciBridgeFunction(0x8086, 0x9C90)
+    bus1 = host.root_bus.add_bridge(0, 0, root_port)
+    upstream = PciBridgeFunction(0x104C, 0x8232)
+    bus2 = host.root_bus.child_behind(0, 0).add_bridge(0, 0, upstream)
+    disk = PciEndpointFunction(0x8086, 0x7111)
+    bus2.add_function(3, 0, disk)
+    # Program bus numbers the way enumeration would.
+    host.config_write(0, 0, 0, hdr.SECONDARY_BUS, 1, 1)
+    host.config_write(0, 0, 0, hdr.SUBORDINATE_BUS, 2, 1)
+    host.config_write(1, 0, 0, hdr.SECONDARY_BUS, 2, 1)
+    host.config_write(1, 0, 0, hdr.SUBORDINATE_BUS, 2, 1)
+    assert host.config_read(2, 3, 0, hdr.DEVICE_ID, 2) == 0x7111
+    assert host.function_at(2, 3, 0) is disk
+    # Bus 3 exists nowhere.
+    assert host.config_read(3, 0, 0, hdr.VENDOR_ID, 2) == 0xFFFF
+
+
+def test_add_bridge_type_checked():
+    sim = Simulator()
+    host = PciHost(sim)
+    with pytest.raises(TypeError):
+        host.root_bus.add_bridge(0, 0, PciEndpointFunction(1, 1))
+
+
+def test_all_functions_walks_tree():
+    sim = Simulator()
+    host = PciHost(sim)
+    bridge = PciBridgeFunction(0x8086, 0x9C90)
+    child = host.root_bus.add_bridge(0, 0, bridge)
+    child.add_function(0, 0, PciEndpointFunction(0x8086, 0x10D3))
+    host.root_bus.add_function(1, 0, PciEndpointFunction(0x8086, 0x1234))
+    assert len(host.all_functions()) == 3
+
+
+def test_timed_config_access_via_port():
+    sim = Simulator()
+    host = PciHost(sim, config_latency=100_000)
+    fn = PciEndpointFunction(0x8086, 0x10D3)
+    host.root_bus.add_function(2, 0, fn)
+    master = FakeMaster(sim)
+    master.port.bind(host.port)
+    addr = host.encode(0, 2, 0, hdr.VENDOR_ID)
+    master._queue.push(Packet(MemCmd.CONFIG_READ_REQ, addr, 2))
+    sim.run()
+    assert len(master.responses) == 1
+    assert master.responses[0].data == (0x8086).to_bytes(2, "little")
+    assert master.response_ticks[0] == 100_000
+
+
+def test_timed_config_write_via_port():
+    sim = Simulator()
+    host = PciHost(sim)
+    fn = PciEndpointFunction(0x8086, 0x10D3)
+    host.root_bus.add_function(2, 0, fn)
+    master = FakeMaster(sim)
+    master.port.bind(host.port)
+    addr = host.encode(0, 2, 0, hdr.COMMAND)
+    value = (hdr.CMD_MEM_SPACE | hdr.CMD_BUS_MASTER).to_bytes(2, "little")
+    master._queue.push(Packet(MemCmd.CONFIG_WRITE_REQ, addr, 2, data=value))
+    sim.run()
+    assert fn.memory_enabled and fn.bus_master_enabled
+    assert master.responses[0].cmd is MemCmd.CONFIG_WRITE_RESP

@@ -1,0 +1,50 @@
+"""Unit tests for the pcie-pkt wrapper."""
+
+import pytest
+
+from repro.mem.packet import MemCmd, Packet
+from repro.pcie.pkt import DllpType, PciePacket
+
+
+def test_wraps_exactly_one_kind():
+    tlp = Packet(MemCmd.WRITE_REQ, 0, 64, data=bytes(64))
+    with pytest.raises(ValueError):
+        PciePacket()
+    with pytest.raises(ValueError):
+        PciePacket(tlp=tlp, dllp_type=DllpType.ACK, seq=0)
+
+
+def test_tlp_wire_size_includes_table1_overhead():
+    write = Packet(MemCmd.WRITE_REQ, 0, 64, data=bytes(64))
+    ppkt = PciePacket.for_tlp(write, seq=0)
+    assert ppkt.is_tlp and not ppkt.is_dllp
+    assert ppkt.wire_bytes() == 64 + 20
+
+
+def test_read_request_tlp_has_no_payload_on_wire():
+    read = Packet(MemCmd.READ_REQ, 0, 64)
+    assert PciePacket.for_tlp(read, seq=3).wire_bytes() == 20
+
+
+def test_dllp_wire_size():
+    assert PciePacket.ack(7).wire_bytes() == 8
+    assert PciePacket.nak(7).wire_bytes() == 8
+
+
+def test_ack_nak_constructors():
+    ack = PciePacket.ack(5)
+    assert ack.is_dllp and ack.dllp_type is DllpType.ACK and ack.seq == 5
+    nak = PciePacket.nak(2)
+    assert nak.dllp_type is DllpType.NAK
+
+
+def test_dllp_seq_minus_one_is_legal_but_lower_is_not():
+    assert PciePacket.nak(-1).seq == -1
+    with pytest.raises(ValueError):
+        PciePacket.nak(-2)
+
+
+def test_repr_mentions_kind():
+    tlp = Packet(MemCmd.READ_REQ, 0, 64)
+    assert "TLP" in repr(PciePacket.for_tlp(tlp, 0))
+    assert "ACK" in repr(PciePacket.ack(0))

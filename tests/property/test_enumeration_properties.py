@@ -1,0 +1,96 @@
+"""Property-based tests of enumeration invariants on random topologies.
+
+For arbitrary trees of bridges and endpoints the enumeration software
+must always produce: depth-first bus numbering with correct
+[secondary, subordinate] nesting, disjoint BAR assignments that sit
+inside every ancestor bridge's programmed window, and decode/bus-master
+enables on every endpoint.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.addr import disjoint
+from repro.pci.enumeration import Enumerator
+from repro.pci.header import Bar, PciBridgeFunction, PciEndpointFunction
+from repro.pci.host import PciHost
+from repro.sim.simobject import Simulator
+
+# A topology is a recursively nested spec: an int is an endpoint with
+# that many BARs (1..3); a list is a bridge containing children.
+topology = st.recursive(
+    st.integers(min_value=1, max_value=3),
+    lambda children: st.lists(children, min_size=0, max_size=3),
+    max_leaves=8,
+)
+
+
+def materialize(spec, bus, slot=0):
+    """Build function models for a spec; returns the created node."""
+    if isinstance(spec, int):
+        bars = [Bar(4096 << i) for i in range(spec)]
+        fn = PciEndpointFunction(0x8086, 0x1000 + spec, bars=bars)
+        bus.add_function(slot, 0, fn)
+        return fn
+    bridge = PciBridgeFunction(0x8086, 0x9C90)
+    child_bus = bus.add_bridge(slot, 0, bridge)
+    for i, child in enumerate(spec):
+        materialize(child, child_bus, slot=i)
+    return bridge
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=st.lists(topology, min_size=1, max_size=3))
+def test_enumeration_invariants(specs):
+    host = PciHost(Simulator())
+    for i, spec in enumerate(specs):
+        materialize(spec, host.root_bus, slot=i)
+    enumerator = Enumerator(host)
+    roots = enumerator.enumerate()
+    all_nodes = enumerator.all_devices()
+
+    # 1. Everything materialized was discovered.
+    assert len(all_nodes) == len(host.all_functions())
+
+    # 2. Bus numbering: parents contain children, siblings disjoint.
+    def check(node):
+        if not node.is_bridge:
+            return
+        assert node.secondary_bus <= node.subordinate_bus
+        child_buses = []
+        for child in node.children:
+            assert node.secondary_bus <= child.bus <= node.subordinate_bus
+            if child.is_bridge:
+                child_buses.append((child.secondary_bus, child.subordinate_bus))
+            check(child)
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(child_buses, child_buses[1:]):
+            assert a_hi < b_lo  # depth-first: sibling ranges ordered
+
+    for root in roots:
+        check(root)
+
+    # 3. All assigned BARs globally disjoint.
+    assigned = [bar.assigned for node in all_nodes for bar in node.bars]
+    assert all(rng is not None for rng in assigned)
+    assert disjoint(assigned)
+
+    # 4. Every endpoint BAR lies inside every ancestor bridge window,
+    #    and every endpoint is enabled.
+    def check_windows(node, ancestors):
+        model = host.function_at(*node.bdf)
+        if node.is_bridge:
+            for child in node.children:
+                check_windows(child, ancestors + [model])
+            return
+        assert model.bus_master_enabled
+        for bar in node.bars:
+            for bridge in ancestors:
+                windows = bridge.forwarding_ranges()
+                assert any(w.contains_range(bar.assigned) for w in windows)
+
+    for root in roots:
+        check_windows(root, [])
+
+    # 5. Interrupt lines unique across endpoints.
+    lines = [n.interrupt_line for n in all_nodes if not n.is_bridge]
+    assert len(lines) == len(set(lines))

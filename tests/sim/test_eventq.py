@@ -1,0 +1,169 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.eventq import CallbackEvent, Event, EventQueue
+
+
+class RecordingEvent(Event):
+    def __init__(self, log, tag, **kwargs):
+        super().__init__(**kwargs)
+        self.log = log
+        self.tag = tag
+
+    def process(self):
+        self.log.append(self.tag)
+
+
+def test_events_fire_in_tick_order():
+    q = EventQueue()
+    log = []
+    q.schedule(RecordingEvent(log, "c"), 30)
+    q.schedule(RecordingEvent(log, "a"), 10)
+    q.schedule(RecordingEvent(log, "b"), 20)
+    q.run()
+    assert log == ["a", "b", "c"]
+    assert q.curtick == 30
+
+
+def test_same_tick_orders_by_priority_then_insertion():
+    q = EventQueue()
+    log = []
+    q.schedule(RecordingEvent(log, "low", priority=10), 5)
+    q.schedule(RecordingEvent(log, "first", priority=0), 5)
+    q.schedule(RecordingEvent(log, "second", priority=0), 5)
+    q.run()
+    assert log == ["first", "second", "low"]
+
+
+def test_schedule_in_past_raises():
+    q = EventQueue()
+    q.schedule_callback(10, lambda: None)
+    q.run()
+    assert q.curtick == 10
+    with pytest.raises(ValueError):
+        q.schedule(CallbackEvent(lambda: None), 5)
+
+
+def test_double_schedule_raises():
+    q = EventQueue()
+    ev = CallbackEvent(lambda: None)
+    q.schedule(ev, 10)
+    with pytest.raises(RuntimeError):
+        q.schedule(ev, 20)
+
+
+def test_deschedule_prevents_firing():
+    q = EventQueue()
+    log = []
+    ev = RecordingEvent(log, "x")
+    q.schedule(ev, 10)
+    q.deschedule(ev)
+    q.run()
+    assert log == []
+    assert not ev.scheduled
+
+
+def test_deschedule_unscheduled_raises():
+    q = EventQueue()
+    with pytest.raises(RuntimeError):
+        q.deschedule(CallbackEvent(lambda: None))
+
+
+def test_reschedule_moves_event():
+    q = EventQueue()
+    log = []
+    ev = RecordingEvent(log, "x")
+    q.schedule(ev, 10)
+    q.reschedule(ev, 50)
+    q.schedule(RecordingEvent(log, "y"), 20)
+    q.run()
+    assert log == ["y", "x"]
+    assert q.curtick == 50
+
+
+def test_event_can_be_rescheduled_after_firing():
+    q = EventQueue()
+    log = []
+    ev = RecordingEvent(log, "x")
+    q.schedule(ev, 10)
+    q.run()
+    q.schedule(ev, 20)
+    q.run()
+    assert log == ["x", "x"]
+
+
+def test_run_until_limit_advances_clock_to_limit():
+    q = EventQueue()
+    log = []
+    q.schedule(RecordingEvent(log, "a"), 10)
+    q.schedule(RecordingEvent(log, "b"), 100)
+    end = q.run(until=50)
+    assert log == ["a"]
+    assert end == 50
+    q.run()
+    assert log == ["a", "b"]
+
+
+def test_events_scheduled_during_processing_fire():
+    q = EventQueue()
+    log = []
+
+    def chain(n):
+        log.append(n)
+        if n < 3:
+            q.schedule_callback(10, lambda: chain(n + 1))
+
+    q.schedule_callback(0, lambda: chain(0))
+    q.run()
+    assert log == [0, 1, 2, 3]
+    assert q.curtick == 30
+
+
+def test_stop_from_within_event():
+    q = EventQueue()
+    log = []
+    q.schedule_callback(10, lambda: (log.append("a"), q.stop()))
+    q.schedule_callback(20, lambda: log.append("b"))
+    q.run()
+    assert log == ["a"]
+    q.run()
+    assert log == ["a", "b"]
+
+
+def test_max_events_guard():
+    q = EventQueue()
+    log = []
+    for i in range(10):
+        q.schedule(RecordingEvent(log, i), i)
+    q.run(max_events=4)
+    assert log == [0, 1, 2, 3]
+
+
+def test_len_excludes_squashed():
+    q = EventQueue()
+    ev = CallbackEvent(lambda: None)
+    q.schedule(ev, 10)
+    q.schedule_callback(20, lambda: None)
+    assert len(q) == 2
+    q.deschedule(ev)
+    assert len(q) == 1
+
+
+def test_next_tick_and_empty():
+    q = EventQueue()
+    assert q.empty()
+    assert q.next_tick() is None
+    ev = CallbackEvent(lambda: None)
+    q.schedule(ev, 42)
+    assert q.next_tick() == 42
+    q.deschedule(ev)
+    assert q.empty()
+
+
+def test_events_processed_counter():
+    q = EventQueue()
+    for i in range(5):
+        q.schedule_callback(i, lambda: None)
+    q.run()
+    assert q.events_processed == 5

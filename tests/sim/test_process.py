@@ -1,0 +1,132 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.process import Delay, Process, Signal, WaitFor
+from repro.sim.simobject import Simulator
+from repro.sim import ticks
+
+
+def test_delay_advances_time():
+    sim = Simulator()
+
+    def body():
+        yield Delay(ticks.from_ns(100))
+        return sim.curtick
+
+    proc = Process(sim, "p", body())
+    sim.run()
+    assert proc.done
+    assert proc.result == ticks.from_ns(100)
+    assert proc.elapsed == ticks.from_ns(100)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-1)
+
+
+def test_wait_for_signal_delivers_value():
+    sim = Simulator()
+    sig = Signal("irq")
+    got = []
+
+    def waiter():
+        value = yield WaitFor(sig)
+        got.append(value)
+
+    Process(sim, "w", waiter())
+    sim.schedule_callback(ticks.from_ns(50), lambda: sig.notify("data"))
+    sim.run()
+    assert got == ["data"]
+
+
+def test_signal_wakes_all_waiters():
+    sim = Simulator()
+    sig = Signal()
+    done = []
+
+    def waiter(i):
+        yield WaitFor(sig)
+        done.append(i)
+
+    for i in range(3):
+        Process(sim, f"w{i}", waiter(i))
+    sim.schedule_callback(10, sig.notify)
+    sim.run()
+    assert sorted(done) == [0, 1, 2]
+    assert sig.waiter_count == 0
+
+
+def test_notify_without_waiters_is_not_remembered():
+    sim = Simulator()
+    sig = Signal()
+    assert sig.notify() == 0
+    woken = []
+
+    def waiter():
+        yield WaitFor(sig)
+        woken.append(True)
+
+    Process(sim, "w", waiter())
+    sim.run()
+    # The earlier notify must not wake this later waiter.
+    assert woken == []
+    assert sig.waiter_count == 1
+
+
+def test_processes_can_wait_on_each_other():
+    sim = Simulator()
+    order = []
+
+    def first():
+        yield Delay(100)
+        order.append("first")
+        return 42
+
+    p1 = Process(sim, "p1", first())
+
+    def second():
+        value = yield WaitFor(p1.completed)
+        order.append(("second", value))
+
+    Process(sim, "p2", second())
+    sim.run()
+    assert order == ["first", ("second", 42)]
+
+
+def test_start_delay():
+    sim = Simulator()
+
+    def body():
+        yield Delay(10)
+
+    proc = Process(sim, "p", body(), start_delay=90)
+    sim.run()
+    assert proc.start_tick == 90
+    assert proc.end_tick == 100
+
+
+def test_invalid_yield_raises():
+    sim = Simulator()
+
+    def body():
+        yield "not a directive"
+
+    Process(sim, "p", body())
+    with pytest.raises(TypeError):
+        sim.run()
+
+
+def test_zero_length_process_completes_immediately():
+    sim = Simulator()
+
+    def body():
+        return 7
+        yield  # pragma: no cover
+
+    proc = Process(sim, "p", body())
+    sim.run()
+    assert proc.done
+    assert proc.result == 7
+    assert proc.elapsed == 0

@@ -1,0 +1,66 @@
+"""Unit tests for SimObject / Simulator."""
+
+import pytest
+
+from repro.sim.simobject import SimObject, Simulator
+
+
+def test_full_name_walks_parents():
+    sim = Simulator()
+    system = SimObject(sim, "system")
+    pcie = SimObject(sim, "pcie", parent=system)
+    port = SimObject(sim, "port0", parent=pcie)
+    assert port.full_name == "system.pcie.port0"
+    assert system.children == [pcie]
+    assert pcie.children == [port]
+
+
+def test_name_must_be_non_empty():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        SimObject(sim, "")
+
+
+def test_find_by_full_name():
+    sim = Simulator()
+    system = SimObject(sim, "system")
+    child = SimObject(sim, "dev", parent=system)
+    assert sim.find("system.dev") is child
+    assert sim.find("nope") is None
+
+
+def test_stats_nest_under_parent():
+    sim = Simulator()
+    system = SimObject(sim, "system")
+    dev = SimObject(sim, "dev", parent=system)
+    dev.stats.scalar("count").inc(2)
+    assert sim.dump_stats()["system.dev.count"] == 2
+
+
+def test_schedule_helper_uses_relative_delay():
+    sim = Simulator()
+    obj = SimObject(sim, "obj")
+    fired = []
+    obj.schedule(100, lambda: fired.append(sim.curtick))
+    sim.run()
+    assert fired == [100]
+    assert obj.curtick == 100
+
+
+def test_two_simulators_are_independent():
+    sim_a, sim_b = Simulator("a"), Simulator("b")
+    obj_a = SimObject(sim_a, "x")
+    obj_a.schedule(10, lambda: None)
+    sim_b.run()
+    assert sim_b.curtick == 0
+    sim_a.run()
+    assert sim_a.curtick == 10
+
+
+def test_reset_stats():
+    sim = Simulator()
+    obj = SimObject(sim, "obj")
+    counter = obj.stats.scalar("n")
+    counter.inc(5)
+    sim.reset_stats()
+    assert counter.value() == 0

@@ -1,0 +1,110 @@
+"""Unit tests for the statistics framework."""
+
+import pytest
+
+from repro.sim.stats import Average, Distribution, Formula, Scalar, StatGroup
+
+
+def test_scalar_increments_and_resets():
+    s = Scalar("packets")
+    s.inc()
+    s.inc(4)
+    assert s.value() == 5
+    s.reset()
+    assert s.value() == 0
+
+
+def test_scalar_iadd():
+    s = Scalar("bytes")
+    s += 64
+    s += 64
+    assert s.value() == 128
+
+
+def test_scalar_set():
+    s = Scalar("gauge")
+    s.set(7)
+    assert s.value() == 7
+
+
+def test_scalar_requires_name():
+    with pytest.raises(ValueError):
+        Scalar("")
+
+
+def test_average():
+    a = Average("occupancy")
+    assert a.value() == 0.0
+    for v in (1, 2, 3):
+        a.sample(v)
+    assert a.value() == pytest.approx(2.0)
+    assert a.count == 3
+
+
+def test_distribution_statistics():
+    d = Distribution("latency")
+    for v in (10, 20, 30, 40):
+        d.sample(v)
+    assert d.count == 4
+    assert d.mean == pytest.approx(25.0)
+    assert d.minimum == 10
+    assert d.maximum == 40
+    assert d.stddev == pytest.approx(12.9099, rel=1e-3)
+
+
+def test_distribution_single_sample_has_zero_stddev():
+    d = Distribution("latency")
+    d.sample(5)
+    assert d.stddev == 0.0
+
+
+def test_distribution_dump_keys():
+    d = Distribution("lat")
+    d.sample(1)
+    dump = d.dump()
+    assert set(dump) == {"::count", "::mean", "::stddev", "::min", "::max"}
+
+
+def test_formula_computes_from_other_stats():
+    bytes_moved = Scalar("bytes")
+    seconds = Scalar("seconds")
+    throughput = Formula("bw", lambda: bytes_moved.value() / seconds.value())
+    bytes_moved.inc(100)
+    seconds.set(4)
+    assert throughput.value() == 25.0
+
+
+def test_formula_swallows_division_by_zero():
+    f = Formula("ratio", lambda: 1 / 0)
+    assert f.value() == 0.0
+
+
+def test_group_dump_flattens_tree():
+    root = StatGroup("system")
+    root.scalar("ticks").inc(10)
+    child = root.add_child(StatGroup("pcie"))
+    child.scalar("replays").inc(3)
+    flat = root.dump()
+    assert flat["system.ticks"] == 10
+    assert flat["system.pcie.replays"] == 3
+
+
+def test_group_reset_recurses():
+    root = StatGroup("r")
+    s1 = root.scalar("a")
+    child = root.add_child(StatGroup("c"))
+    s2 = child.scalar("b")
+    s1.inc(1)
+    s2.inc(2)
+    root.reset()
+    assert s1.value() == 0
+    assert s2.value() == 0
+
+
+def test_pretty_output_contains_all_keys():
+    root = StatGroup("top")
+    root.scalar("x").inc(1)
+    root.distribution("d").sample(2.5)
+    text = root.pretty()
+    assert "top.x" in text
+    assert "top.d::mean" in text

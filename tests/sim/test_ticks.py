@@ -1,0 +1,52 @@
+"""Unit tests for time-unit conversions."""
+
+import pytest
+
+from repro.sim import ticks
+
+
+def test_one_tick_is_one_picosecond():
+    assert ticks.PS == 1
+    assert ticks.NS == 1_000
+    assert ticks.US == 1_000_000
+    assert ticks.S == 1_000_000_000_000
+
+
+def test_from_ns_round_trips():
+    assert ticks.from_ns(150) == 150_000
+    assert ticks.to_ns(ticks.from_ns(150)) == pytest.approx(150)
+
+
+def test_from_us_and_ms():
+    assert ticks.from_us(1) == ticks.from_ns(1000)
+    assert ticks.from_ms(1) == ticks.from_us(1000)
+    assert ticks.from_s(1) == ticks.S
+
+
+def test_fractional_ns_rounds_to_nearest_tick():
+    assert ticks.from_ns(0.5) == 500
+    assert ticks.from_ns(0.0001) == 0
+
+
+def test_frequency_period():
+    assert ticks.from_frequency_hz(1e9) == ticks.from_ns(1)
+    assert ticks.from_frequency_hz(2e9) == 500
+
+
+def test_frequency_must_be_positive():
+    with pytest.raises(ValueError):
+        ticks.from_frequency_hz(0)
+
+
+def test_gbps_conversion_gen2_lane():
+    # A Gen 2 lane moves 5 Gbps = 0.625 GB/s = 0.000625 bytes per ps.
+    bpt = ticks.gbps_to_bytes_per_tick(5.0)
+    assert bpt == pytest.approx(0.000625)
+    assert ticks.bytes_per_tick_to_gbps(bpt) == pytest.approx(5.0)
+
+
+def test_gbps_round_trip_various_rates():
+    for rate in (2.5, 5.0, 8.0, 16.0):
+        assert ticks.bytes_per_tick_to_gbps(
+            ticks.gbps_to_bytes_per_tick(rate)
+        ) == pytest.approx(rate)

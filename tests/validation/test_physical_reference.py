@@ -1,0 +1,59 @@
+"""Unit tests for the physical-machine reference model."""
+
+import pytest
+
+from repro.pcie.timing import PcieGen
+from repro.sim import ticks
+from repro.validation.physical_reference import PhysicalSetup, phys_dd_series
+
+
+def test_wire_rate_gen2_x1():
+    setup = PhysicalSetup()
+    # 64B payload / 84 wire bytes at 4 Gbps effective = 3.05 Gbps.
+    assert setup.wire_rate_gbps == pytest.approx(3.05, rel=0.01)
+
+
+def test_ceiling_below_encoded_maximum():
+    setup = PhysicalSetup()
+    # The paper: reported bandwidth is lower than the 4 Gbps encoded
+    # maximum of the x1 slot.
+    assert setup.ceiling_gbps < 4.0
+    assert setup.ceiling_gbps > 2.5
+
+
+def test_device_bandwidth_caps_fast_links():
+    setup = PhysicalSetup(width=32, device_bandwidth_gbps=22.4)
+    assert setup.ceiling_gbps == pytest.approx(22.4)
+
+
+def test_throughput_grows_with_block_size():
+    series = phys_dd_series([64 << 20, 128 << 20, 256 << 20, 512 << 20])
+    values = [series[k] for k in sorted(series)]
+    assert values == sorted(values)
+    assert values[-1] > values[0]
+
+
+def test_large_blocks_approach_ceiling():
+    setup = PhysicalSetup()
+    assert setup.dd_throughput_gbps(512 << 20) == pytest.approx(
+        setup.ceiling_gbps, rel=0.01
+    )
+
+
+def test_startup_cost_lowers_small_blocks():
+    cheap = PhysicalSetup(startup_cost=0)
+    costly = PhysicalSetup(startup_cost=ticks.from_ms(5))
+    assert costly.dd_throughput_gbps(1 << 20) < cheap.dd_throughput_gbps(1 << 20)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        PhysicalSetup(host_efficiency=0)
+    with pytest.raises(ValueError):
+        PhysicalSetup().dd_throughput_gbps(0)
+
+
+def test_gen3_setup_faster():
+    gen2 = PhysicalSetup(gen=PcieGen.GEN2)
+    gen3 = PhysicalSetup(gen=PcieGen.GEN3)
+    assert gen3.ceiling_gbps > gen2.ceiling_gbps * 1.9
