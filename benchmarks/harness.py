@@ -9,10 +9,11 @@ These helpers do that and persist each experiment's rows to
 
 import json
 import os
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from benchmarks import config
 from repro.analysis.report import Table, link_replay_stats
+from repro.obs import ChromeTraceSink, JsonlSink, write_stats_json
 from repro.sim import ticks
 from repro.system.topology import build_nic_system, build_validation_system
 from repro.workloads.dd import DdWorkload
@@ -22,11 +23,30 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def run_dd(block_bytes: int, startup_overhead: Optional[int] = None,
+           trace_path: Optional[str] = None,
+           chrome_trace_path: Optional[str] = None,
+           stats_path: Optional[str] = None,
+           trace_categories: Optional[Sequence[str]] = ("link", "engine"),
            **system_kwargs) -> Dict[str, float]:
-    """Build the validation system, run one dd block, return metrics."""
+    """Build the validation system, run one dd block, return metrics.
+
+    When ``trace_path`` / ``chrome_trace_path`` are given, the workload
+    (not the boot) is traced and the JSONL / Chrome ``trace_event``
+    artifact written there; ``stats_path`` additionally dumps the full
+    typed statistics document after the run.
+    """
     kwargs = dict(config.SYSTEM_DEFAULTS)
     kwargs.update(system_kwargs)
     system = build_validation_system(**kwargs)
+    tracer = system.sim.tracer
+    chrome_sink = None
+    if trace_categories is not None:
+        tracer.categories = frozenset(trace_categories)
+    if trace_path is not None:
+        tracer.attach(JsonlSink(trace_path, meta={"workload": "dd",
+                                                  "block_bytes": block_bytes}))
+    if chrome_trace_path is not None:
+        chrome_sink = tracer.attach(ChromeTraceSink())
     dd = DdWorkload(
         system.kernel,
         system.disk_driver,
@@ -37,6 +57,12 @@ def run_dd(block_bytes: int, startup_overhead: Optional[int] = None,
     system.run(max_events=500_000_000)
     if not process.done:
         raise RuntimeError("dd did not finish — simulation wedged?")
+    if chrome_sink is not None:
+        chrome_sink.write(chrome_trace_path)
+    tracer.close()
+    if stats_path is not None:
+        write_stats_json(system.sim, stats_path,
+                         meta={"workload": "dd", "block_bytes": block_bytes})
     stats = link_replay_stats(system.disk_link)
     sector_mean = system.disk.sector_transfer_ticks.mean
     return {

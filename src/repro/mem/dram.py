@@ -77,6 +77,12 @@ class SimpleMemory(SimObject):
         else:
             self.writes.inc()
             self.bytes_written.inc(pkt.size)
+        trc = self.tracer
+        if trc.enabled:
+            trc.emit(self.curtick, "mem", self.full_name,
+                     "read" if pkt.is_read else "write",
+                     tlp=trc.tlp_id(pkt.req_id), size=pkt.size,
+                     inflight=self._in_flight)
         if not pkt.needs_response:
             return True
         self._in_flight += 1

@@ -116,6 +116,13 @@ class IOCache(SimObject):
     def _is_full_line(self, pkt: Packet) -> bool:
         return pkt.size >= self.line_size and pkt.addr % self.line_size == 0
 
+    def _trace_access(self, pkt: Packet, ev: str) -> None:
+        trc = self.tracer
+        if trc.enabled:
+            trc.emit(self.curtick, "cache", self.full_name, ev,
+                     tlp=trc.tlp_id(pkt.req_id),
+                     inflight=len(self._outstanding))
+
     # -- request path ----------------------------------------------------------
     def _recv_request(self, pkt: Packet) -> bool:
         if pkt.is_read:
@@ -128,11 +135,13 @@ class IOCache(SimObject):
         if tag in cache_set:
             cache_set.move_to_end(tag)
             self.hits.inc()
+            self._trace_access(pkt, "read_hit")
             return self._resp_queue.push(pkt.make_response(), self.hit_latency)
         if len(self._outstanding) >= self.mshrs or self._mem_queue.full:
             return False
         self.misses.inc()
         self._outstanding[pkt.req_id] = pkt
+        self._trace_access(pkt, "read_miss")
         pushed = self._mem_queue.push(pkt, self.lookup_latency)
         assert pushed
         return True
@@ -144,6 +153,7 @@ class IOCache(SimObject):
             cache_set.move_to_end(tag)
             cache_set[tag].dirty = True
             self.hits.inc()
+            self._trace_access(pkt, "write_hit")
             return self._respond_to_write(pkt, self.hit_latency)
         if self._is_full_line(pkt):
             # Allocate without fetching; may need a writeback slot.
@@ -153,12 +163,14 @@ class IOCache(SimObject):
                 return False
             self._allocate(cache_set, tag, dirty=True)
             self.allocations.inc()
+            self._trace_access(pkt, "write_alloc")
             return self._respond_to_write(pkt, self.hit_latency)
         # Partial write: write-through, respond on memory's ack.
         if len(self._outstanding) >= self.mshrs or self._mem_queue.full:
             return False
         self.misses.inc()
         self._outstanding[pkt.req_id] = pkt
+        self._trace_access(pkt, "write_through")
         pushed = self._mem_queue.push(pkt, self.lookup_latency)
         assert pushed
         return True
@@ -202,6 +214,7 @@ class IOCache(SimObject):
         self._writebacks_in_flight += 1
         self.writebacks.inc()
         self._outstanding[writeback.req_id] = writeback
+        self._trace_access(writeback, "writeback")
         pushed = self._mem_queue.push(writeback, self.lookup_latency)
         assert pushed, "_can_allocate reserved a slot"
 

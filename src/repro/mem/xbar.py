@@ -137,6 +137,10 @@ class NoncoherentXBar(SimObject):
             self._resp_route[pkt.req_id] = src
         self.pkt_count.inc()
         self.bytes_moved.inc(pkt.payload_size)
+        trc = self.tracer
+        if trc.enabled:
+            trc.emit(now, "xbar", self.full_name, "req_route",
+                     tlp=trc.tlp_id(pkt.req_id), qlen=len(queue))
         return True
 
     def _recv_response(self, src: MasterPort, pkt: Packet) -> bool:
@@ -159,6 +163,10 @@ class NoncoherentXBar(SimObject):
         assert accepted
         self.pkt_count.inc()
         self.bytes_moved.inc(pkt.payload_size)
+        trc = self.tracer
+        if trc.enabled:
+            trc.emit(now, "xbar", self.full_name, "resp_route",
+                     tlp=trc.tlp_id(pkt.req_id), qlen=len(queue))
         return True
 
     # -- retry fan-out -------------------------------------------------------

@@ -1,0 +1,33 @@
+"""Observability: TLP-lifecycle tracing and structured stats export.
+
+See :mod:`repro.obs.trace` for the tracer/sink machinery and
+:mod:`repro.obs.stats_export` for the typed statistics document.
+"""
+
+from repro.obs.stats_export import STATS_SCHEMA, export_stats, write_stats_json
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    ChromeTraceSink,
+    JsonlSink,
+    MemorySink,
+    Tracer,
+    TraceSink,
+    encode_event,
+    encode_header,
+    load_trace,
+)
+
+__all__ = [
+    "STATS_SCHEMA",
+    "TRACE_SCHEMA",
+    "ChromeTraceSink",
+    "JsonlSink",
+    "MemorySink",
+    "Tracer",
+    "TraceSink",
+    "encode_event",
+    "encode_header",
+    "export_stats",
+    "load_trace",
+    "write_stats_json",
+]

@@ -25,7 +25,18 @@ paper's simplified data-link layer:
 
 Optional error injection corrupts a deterministic pseudo-random fraction
 of received TLPs, exercising the NAK path (the receiver NAKs, the
-sender purges acknowledged TLPs and replays the rest).
+sender purges acknowledged TLPs and replays the rest).  A separate
+``dllp_error_rate`` corrupts received ACK/NAK DLLPs instead: per the
+spec a corrupted DLLP is silently discarded, so a lost ACK leaves the
+sender's replay buffer populated until the replay timer retransmits —
+recovery happens through the timeout path, never deadlock.
+
+When a sink is attached to the simulator's tracer, every interface
+stamps ``link``-category trace points (``tlp_tx``, ``tlp_deliver``,
+``tlp_refused``, ``tlp_out_of_seq``, ``tlp_corrupt``, ``dllp_tx``,
+``dllp_rx``, ``dllp_corrupt``, ``replay_timeout``) carrying the
+tracer-local TLP id, the data-link sequence number and the replay flag
+— the raw material for per-TLP latency attribution.
 """
 
 import random
@@ -145,6 +156,9 @@ class PcieLinkInterface(SimObject):
         )
         self.out_of_seq = s.scalar("out_of_seq", "TLPs discarded by the sequence check")
         self.corrupted = s.scalar("corrupted", "TLPs hit by injected errors")
+        self.dllp_corrupted = s.scalar(
+            "dllp_corrupted", "ACK/NAK DLLPs hit by injected errors (discarded)"
+        )
         s.formula(
             "replay_fraction",
             lambda: self.tlp_replays.value()
@@ -193,6 +207,15 @@ class PcieLinkInterface(SimObject):
         ppkt = self._pick_next()
         if ppkt is None:
             return
+        trc = self.tracer
+        if trc.enabled:
+            if ppkt.is_tlp:
+                trc.emit(self.curtick, "link", self.full_name, "tlp_tx",
+                         tlp=trc.tlp_id(ppkt.tlp.req_id), seq=ppkt.seq,
+                         replay=ppkt.is_replay, resp=ppkt.tlp.is_response)
+            else:
+                trc.emit(self.curtick, "link", self.full_name, "dllp_tx",
+                         kind=ppkt.dllp_type.value, seq=ppkt.seq)
         self.tx_link.send(ppkt, self, self.peer)
         if ppkt.is_tlp and not self._replay_event.scheduled:
             self.sim.schedule_after(self._replay_event, self.replay_timeout)
@@ -238,6 +261,10 @@ class PcieLinkInterface(SimObject):
     # -- replay timer -------------------------------------------------------
     def _replay_timeout(self) -> None:
         self.timeouts.inc()
+        trc = self.tracer
+        if trc.enabled:
+            trc.emit(self.curtick, "link", self.full_name, "replay_timeout",
+                     pending=len(self.replay_buffer))
         # Retransmit everything still unacknowledged, oldest first.
         self.retransmit_queue.clear()
         self.retransmit_queue.extend(self.replay_buffer)
@@ -259,6 +286,20 @@ class PcieLinkInterface(SimObject):
             self._receive_tlp(ppkt)
 
     def _receive_dllp(self, ppkt: PciePacket) -> None:
+        trc = self.tracer
+        if (self.link_parent.dllp_error_rate
+                and self._rng.random() < self.link_parent.dllp_error_rate):
+            # A corrupted DLLP fails its CRC and is silently discarded;
+            # a lost ACK is recovered by the sender's replay timer, a
+            # lost NAK by the next timeout or a later ACK/NAK.
+            self.dllp_corrupted.inc()
+            if trc.enabled:
+                trc.emit(self.curtick, "link", self.full_name, "dllp_corrupt",
+                         kind=ppkt.dllp_type.value, seq=ppkt.seq)
+            return
+        if trc.enabled:
+            trc.emit(self.curtick, "link", self.full_name, "dllp_rx",
+                     kind=ppkt.dllp_type.value, seq=ppkt.seq)
         if ppkt.dllp_type is DllpType.ACK:
             self.acks_received.inc()
             self._purge_acknowledged(ppkt.seq)
@@ -276,15 +317,23 @@ class PcieLinkInterface(SimObject):
             self.replay_buffer.popleft()
 
     def _receive_tlp(self, ppkt: PciePacket) -> None:
+        trc = self.tracer
         if self.link_parent.error_rate and self._rng.random() < self.link_parent.error_rate:
             # A corrupted TLP: discard and NAK the last good sequence.
             self.corrupted.inc()
+            if trc.enabled:
+                trc.emit(self.curtick, "link", self.full_name, "tlp_corrupt",
+                         tlp=trc.tlp_id(ppkt.tlp.req_id), seq=ppkt.seq)
             self.dllp_queue.append(PciePacket.nak(self.recv_seq - 1))
             self._kick_tx()
             return
         if ppkt.seq != self.recv_seq:
             # Duplicate (already delivered) or out-of-order replay.
             self.out_of_seq.inc()
+            if trc.enabled:
+                trc.emit(self.curtick, "link", self.full_name, "tlp_out_of_seq",
+                         tlp=trc.tlp_id(ppkt.tlp.req_id), seq=ppkt.seq,
+                         expect=self.recv_seq)
             if ppkt.seq < self.recv_seq:
                 # Re-ACK so the sender can purge its replay buffer even
                 # if the original ACK crossed a timeout.
@@ -294,8 +343,15 @@ class PcieLinkInterface(SimObject):
             # Attached component refused (buffers full): drop; do not
             # bump recv_seq; the sender's replay timer recovers.
             self.delivery_refused.inc()
+            if trc.enabled:
+                trc.emit(self.curtick, "link", self.full_name, "tlp_refused",
+                         tlp=trc.tlp_id(ppkt.tlp.req_id), seq=ppkt.seq)
             return
         self.delivered.inc()
+        if trc.enabled:
+            trc.emit(self.curtick, "link", self.full_name, "tlp_deliver",
+                     tlp=trc.tlp_id(ppkt.tlp.req_id), seq=ppkt.seq,
+                     resp=ppkt.tlp.is_response)
         self.recv_seq += 1
         self._schedule_ack()
 
@@ -345,6 +401,8 @@ class PcieLink(SimObject):
         input_queue_size: TLPs an interface buffers from its component
             before exerting port backpressure.
         error_rate: fraction of received TLPs corrupted (NAK path).
+        dllp_error_rate: fraction of received ACK/NAK DLLPs corrupted
+            (discarded; recovery via the replay timeout).
     """
 
     def __init__(
@@ -360,6 +418,7 @@ class PcieLink(SimObject):
         ack_policy: str = "timer",
         input_queue_size: int = 2,
         error_rate: float = 0.0,
+        dllp_error_rate: float = 0.0,
         error_seed: int = 0x5EED,
         replay_timeout: Optional[int] = None,
         ack_period: Optional[int] = None,
@@ -375,6 +434,7 @@ class PcieLink(SimObject):
         self.ack_policy = ack_policy
         self.input_queue_size = input_queue_size
         self.error_rate = error_rate
+        self.dllp_error_rate = dllp_error_rate
         self.error_seed = error_seed
         # The spec formula by default; explicit overrides support the
         # timer-sensitivity ablations.
@@ -408,6 +468,22 @@ class PcieLink(SimObject):
     @property
     def width(self) -> int:
         return self.timing.width
+
+    def config_dict(self) -> dict:
+        """The link's knobs, recorded into stats exports."""
+        return {
+            "kind": "pcie_link",
+            "gen": self.gen.name,
+            "width": self.width,
+            "replay_buffer_size": self.replay_buffer_size,
+            "max_payload": self.max_payload,
+            "ack_policy": self.ack_policy,
+            "input_queue_size": self.input_queue_size,
+            "error_rate": self.error_rate,
+            "dllp_error_rate": self.dllp_error_rate,
+            "replay_timeout": self.replay_timeout,
+            "ack_period": self.ack_period,
+        }
 
     def __repr__(self) -> str:
         return f"<PcieLink {self.full_name} {self.gen.name} x{self.width}>"

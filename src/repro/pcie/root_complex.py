@@ -93,6 +93,12 @@ class RootComplex(PcieRoutingEngine):
     def vp2ps(self) -> List[VirtualP2PBridge]:
         return [port.vp2p for port in self.downstream_ports]
 
+    def config_dict(self) -> dict:
+        config = super().config_dict()
+        config["kind"] = "root_complex"
+        config["num_root_ports"] = len(self.root_ports)
+        return config
+
     # -- routing policy ------------------------------------------------------------
     def upstream_ranges(self) -> List[AddrRange]:
         """The union of every root port's programmed windows — what the

@@ -140,10 +140,19 @@ class ComponentPort(SimObject):
         return self._ingress(pkt, is_response=True)
 
     def _ingress(self, pkt: Packet, is_response: bool) -> bool:
+        trc = self.tracer
         if not self._try_reserve(is_response):
             self.ingress_refusals.inc()
+            if trc.enabled:
+                trc.emit(self.curtick, "engine", self.full_name,
+                         "ingress_refused", tlp=trc.tlp_id(pkt.req_id),
+                         resp=is_response, pool=self.pool_used)
             return False
         self.pool_occupancy.sample(self.pool_used)
+        if trc.enabled:
+            trc.emit(self.curtick, "engine", self.full_name, "ingress",
+                     tlp=trc.tlp_id(pkt.req_id), resp=is_response,
+                     pool=self.pool_used)
         self.engine._register_owner(pkt, is_response, self)
         if not is_response and pkt.pci_bus_num == -1:
             pkt.pci_bus_num = self.stamp_bus_number()
@@ -250,6 +259,18 @@ class PcieRoutingEngine(SimObject):
     def _all_ports(self) -> List[ComponentPort]:
         return [self.upstream_port] + self.downstream_ports
 
+    def config_dict(self) -> dict:
+        """The engine's knobs, recorded into stats exports; subclasses
+        override to name their kind."""
+        return {
+            "kind": type(self).__name__,
+            "latency": self.latency,
+            "buffer_size": self.buffer_size,
+            "service_interval": self.service_interval,
+            "datapath_scope": self.datapath_scope,
+            "num_downstream_ports": len(self.downstream_ports),
+        }
+
     # -- policy hooks (overridden by RootComplex / PcieSwitch) ------------------------
     def upstream_ranges(self) -> List[AddrRange]:
         """Address ranges the upstream slave port claims."""
@@ -267,6 +288,11 @@ class PcieRoutingEngine(SimObject):
     def _packet_left(self, pkt: Packet, is_response: bool) -> None:
         owner = self._owners.pop((pkt.req_id, is_response))
         owner._release(is_response)
+        trc = self.tracer
+        if trc.enabled:
+            trc.emit(self.sim.curtick, "engine", owner.full_name, "egress",
+                     tlp=trc.tlp_id(pkt.req_id), resp=is_response,
+                     pool=owner.pool_used)
 
     # -- internal movement ---------------------------------------------------------
     def _move(self, pkt: Packet, src: ComponentPort, is_response: bool) -> None:

@@ -93,6 +93,11 @@ class PcieSwitch(PcieRoutingEngine):
     def vp2ps(self) -> List[VirtualP2PBridge]:
         return [self.upstream_vp2p] + [p.vp2p for p in self.downstream_ports]
 
+    def config_dict(self) -> dict:
+        config = super().config_dict()
+        config["kind"] = "switch"
+        return config
+
     # -- routing policy ------------------------------------------------------------
     def upstream_ranges(self) -> List[AddrRange]:
         """What the switch claims from upstream: the windows programmed

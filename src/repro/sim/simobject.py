@@ -9,12 +9,14 @@ one-to-one.
 
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.trace import Tracer
 from repro.sim.eventq import CallbackEvent, Event, EventQueue
 from repro.sim.stats import StatGroup
 
 
 class Simulator:
-    """Owns the event queue and the root of the statistics tree.
+    """Owns the event queue, the root of the statistics tree, and the
+    tracer.
 
     Every :class:`SimObject` is constructed with a reference to a
     Simulator, keeping time and statistics explicit rather than global
@@ -23,9 +25,13 @@ class Simulator:
     harness relies on this).
     """
 
-    def __init__(self, name: str = "sim"):
+    def __init__(self, name: str = "sim", tracer: Optional[Tracer] = None):
         self.name = name
+        # The tracer is created disabled; attaching a sink enables it.
+        # Components cache the reference, so it is never replaced.
+        self.tracer = tracer if tracer is not None else Tracer()
         self.eventq = EventQueue(f"{name}.eventq")
+        self.eventq.tracer = self.tracer
         self.stats = StatGroup()
         self._objects: List["SimObject"] = []
         self._exit_callbacks: List[Callable[[], None]] = []
@@ -92,6 +98,7 @@ class SimObject:
             raise ValueError("SimObject name must be non-empty")
         self.sim = sim
         self.name = name
+        self.tracer = sim.tracer
         self.parent = parent
         self.children: List["SimObject"] = []
         if parent is not None:

@@ -203,6 +203,19 @@ class StatGroup:
         for child in self._children:
             child.reset()
 
+    def walk(self, prefix: str = ""):
+        """Yield ``(dotted_name, stat)`` for every stat in the tree.
+
+        Unlike :meth:`dump` this keeps the typed :class:`Stat` objects,
+        so consumers (the structured exporter) can record kind,
+        description and distribution moments rather than one number.
+        """
+        base = f"{prefix}{self.name}." if self.name else prefix
+        for stat in self._stats:
+            yield f"{base}{stat.name}", stat
+        for child in self._children:
+            yield from child.walk(base)
+
     def dump(self, prefix: str = "") -> Dict[str, Number]:
         """Flatten the tree into ``{dotted.name: value}``."""
         base = f"{prefix}{self.name}." if self.name else prefix

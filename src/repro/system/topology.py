@@ -172,6 +172,7 @@ def build_validation_system(
     datapath_scope: str = "port",
     ack_policy: str = "immediate",
     error_rate: float = 0.0,
+    dllp_error_rate: float = 0.0,
     posted_writes: bool = False,
     disk_access_latency: int = ticks.from_us(1),
     enable_msi: bool = False,
@@ -205,7 +206,7 @@ def build_validation_system(
     root_link = PcieLink(
         sim, "root_link", gen=gen, width=root_link_width,
         replay_buffer_size=replay_buffer_size, ack_policy=ack_policy,
-        error_rate=error_rate,
+        error_rate=error_rate, dllp_error_rate=dllp_error_rate,
     )
     _connect_link(root_link, root_complex.root_ports[0], switch=switch)
     system.links["root"] = root_link
@@ -218,7 +219,7 @@ def build_validation_system(
     disk_link = PcieLink(
         sim, "disk_link", gen=gen, width=device_link_width,
         replay_buffer_size=replay_buffer_size, ack_policy=ack_policy,
-        error_rate=error_rate,
+        error_rate=error_rate, dllp_error_rate=dllp_error_rate,
     )
     _connect_link(disk_link, switch.downstream_ports[0], device=disk)
     system.links["disk"] = disk_link

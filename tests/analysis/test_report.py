@@ -52,3 +52,110 @@ def test_link_replay_stats_shape():
     assert set(stats) == {
         "tlps_sent", "replays", "timeouts", "replay_fraction", "delivery_refused"
     }
+
+
+# ---------------------------------------------------------------------------
+# Trace-to-latency breakdown
+# ---------------------------------------------------------------------------
+
+def synthetic_trace():
+    """A hand-written lifecycle with known arithmetic: TLP 0's request
+    is transmitted at 100, replayed at 300, delivered at 400, then sits
+    in a root-complex port from 400 to 450."""
+    return [
+        {"t": 100, "cat": "link", "comp": "link.down_if", "ev": "tlp_tx",
+         "tlp": 0, "seq": 0, "replay": False, "resp": False},
+        {"t": 250, "cat": "link", "comp": "link.up_if", "ev": "tlp_refused",
+         "tlp": 0, "seq": 0},
+        {"t": 280, "cat": "link", "comp": "link.down_if", "ev": "replay_timeout",
+         "pending": 1},
+        {"t": 300, "cat": "link", "comp": "link.down_if", "ev": "tlp_tx",
+         "tlp": 0, "seq": 0, "replay": True, "resp": False},
+        {"t": 400, "cat": "link", "comp": "link.up_if", "ev": "tlp_deliver",
+         "tlp": 0, "seq": 0, "resp": False},
+        {"t": 400, "cat": "engine", "comp": "rc.up", "ev": "ingress",
+         "tlp": 0, "resp": False, "pool": 1},
+        {"t": 450, "cat": "engine", "comp": "rc.up", "ev": "egress",
+         "tlp": 0, "resp": False, "pool": 0},
+        {"t": 460, "cat": "link", "comp": "link.up_if", "ev": "dllp_tx",
+         "kind": "ack", "seq": 0},
+    ]
+
+
+def test_breakdown_attributes_known_arithmetic():
+    from repro.analysis.report import LATENCY_SCHEMA, trace_latency_breakdown
+
+    breakdown = trace_latency_breakdown(synthetic_trace())
+    assert breakdown["schema"] == LATENCY_SCHEMA
+    rec = breakdown["tlps"]["0/req"]
+    assert rec["link_ticks"] == 300           # first tx 100 -> deliver 400
+    assert rec["replay_ticks"] == 200         # first tx 100 -> last tx 300
+    assert rec["serialization_ticks"] == 100  # last tx 300 -> deliver 400
+    assert rec["engine_ticks"] == 50          # ingress 400 -> egress 450
+    assert rec["replays"] == 1
+    assert rec["refusals"] == 1
+    totals = breakdown["totals"]
+    assert totals["tlps"] == 1
+    assert totals["unresolved"] == 0
+    counts = breakdown["event_counts"]
+    assert counts["link.down_if"]["tlp_tx_replay"] == 1
+    assert counts["link.down_if"]["replay_timeout"] == 1
+    assert counts["link.up_if"]["tlp_refused"] == 1
+    assert counts["link.up_if"]["dllp_tx_ack"] == 1
+
+
+def test_breakdown_accepts_jsonl_path_and_lines(tmp_path):
+    from repro.analysis.report import trace_latency_breakdown
+    from repro.obs.trace import MemorySink
+
+    sink = MemorySink()
+    for ev in synthetic_trace():
+        sink.record(ev)
+    text = sink.to_jsonl(meta={"scenario": "synthetic"})
+    path = tmp_path / "trace.jsonl"
+    path.write_text(text)
+    from_events = trace_latency_breakdown(sink.events)
+    from_path = trace_latency_breakdown(str(path))
+    from_lines = trace_latency_breakdown(text.splitlines())
+    assert from_events == from_path == from_lines
+
+
+def test_breakdown_reconciles_with_live_link_stats():
+    from repro.analysis.report import (
+        reconcile_trace_with_link,
+        trace_latency_breakdown,
+    )
+    from repro.obs.trace import MemorySink
+    from repro.pcie.link import PcieLink
+    from repro.sim.simobject import Simulator
+    from tests.mem.helpers import FakeMaster, FakeSlave
+
+    sim = Simulator()
+    link = PcieLink(sim, "link", error_rate=0.2, error_seed=11)
+    device = FakeMaster(sim, "device")
+    memory = FakeSlave(sim, "memory")
+    device.port.bind(link.downstream_if.slave_port)
+    link.upstream_if.master_port.bind(memory.port)
+    sink = sim.tracer.attach(MemorySink())
+    for i in range(8):
+        device.write(0x1000 + i * 64, 64)
+    sim.run(max_events=3_000_000)
+    assert len(memory.requests) == 8
+
+    breakdown = trace_latency_breakdown(sink.events)
+    recon = reconcile_trace_with_link(breakdown, link)
+    for interface, counts in recon.items():
+        for stat_name, pair in counts.items():
+            assert pair["stat"] == pair["trace"], (interface, stat_name)
+
+
+def test_format_latency_breakdown_is_one_screen():
+    from repro.analysis.report import (
+        format_latency_breakdown,
+        trace_latency_breakdown,
+    )
+
+    text = format_latency_breakdown(trace_latency_breakdown(synthetic_trace()))
+    assert "TLP latency breakdown" in text
+    assert "replay/recovery : 200 ticks" in text
+    assert len(text.splitlines()) <= 10

@@ -1,0 +1,28 @@
+"""Regenerate the golden trace files.
+
+Run after a *deliberate* behaviour or vocabulary change:
+
+    PYTHONPATH=src:. python tests/golden/regen.py
+
+then review the diff — every changed line is a changed observable
+behaviour — and commit the new goldens with the change that caused
+them.
+"""
+
+import sys
+
+from tests.golden.scenario import SCENARIOS, golden_path, run_scenario
+
+
+def main() -> int:
+    for name in SCENARIOS:
+        text = run_scenario(name)
+        path = golden_path(name)
+        with open(path, "w") as fh:
+            fh.write(text)
+        print(f"wrote {path}: {len(text.splitlines()) - 1} events")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

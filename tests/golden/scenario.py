@@ -1,0 +1,61 @@
+"""The canonical runs behind the golden-trace regression files.
+
+A golden trace freezes the *entire observable behaviour* of a scenario
+— every TLP transmission, delivery, refusal, replay and DLLP, with
+exact ticks and sequence numbers — as canonical JSONL bytes.  Any
+change to event ordering, link timing, replay policy or the trace
+vocabulary flips the byte comparison red, which is the point: such
+changes must be deliberate, reviewed, and followed by ``regen.py``.
+
+Both scenarios drive a 4 KiB ``dd`` read through the paper's validation
+topology narrowed to Gen 2 x1 links; the second also injects
+``error_rate=0.2`` to pin the NAK/replay machinery.  Traces restrict to
+the ``link``/``engine`` categories — the TLP lifecycle — so the files
+stay reviewable (a few thousand events each).
+"""
+
+import os
+
+from repro.obs.trace import MemorySink
+from repro.system.topology import build_validation_system
+from repro.workloads.dd import DdWorkload
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+
+#: name -> (golden file, scenario kwargs).  The meta recorded in the
+#: header is exactly these kwargs, so a golden file says what made it.
+SCENARIOS = {
+    "dd_gen2x1": {"error_rate": 0.0},
+    "dd_gen2x1_err": {"error_rate": 0.2},
+}
+
+BLOCK_BYTES = 4096
+TRACE_CATEGORIES = ("link", "engine")
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.jsonl")
+
+
+def run_scenario(name: str, **overrides) -> str:
+    """Run one golden scenario from a fresh Simulator; return the trace
+    as the exact JSONL text a golden file holds."""
+    kwargs = dict(SCENARIOS[name])
+    kwargs.update(overrides)
+    error_rate = kwargs.pop("error_rate")
+    system = build_validation_system(
+        root_link_width=1, device_link_width=1, error_rate=error_rate,
+        **kwargs,
+    )
+    sink = MemorySink()
+    system.sim.tracer.categories = frozenset(TRACE_CATEGORIES)
+    system.sim.tracer.attach(sink)
+    dd = DdWorkload(system.kernel, system.disk_driver, BLOCK_BYTES,
+                    startup_overhead=0)
+    process = system.kernel.spawn("dd", dd.run())
+    system.run(max_events=10_000_000)
+    assert process.done, f"golden scenario {name!r} did not finish"
+    meta = {"scenario": name, "block_bytes": BLOCK_BYTES,
+            "error_rate": error_rate,
+            "categories": sorted(TRACE_CATEGORIES)}
+    return sink.to_jsonl(meta=meta)

@@ -1,0 +1,100 @@
+"""Error injection on the ACK/NAK DLLPs themselves.
+
+``error_rate`` corrupts received TLPs and exercises the NAK path;
+``dllp_error_rate`` corrupts received DLLPs instead.  Per the spec a
+DLLP that fails its CRC is silently discarded — no NAK, no state change
+— so a lost ACK strands the sender's replay buffer until the replay
+timer retransmits.  These tests show that the recovery really is the
+timeout path and that it converges rather than deadlocks.
+"""
+
+from repro.pcie.link import PcieLink
+from repro.sim.simobject import Simulator
+
+from tests.mem.helpers import FakeMaster, FakeSlave
+
+
+def build_dma_path(sim, **link_kwargs):
+    link = PcieLink(sim, "link", **link_kwargs)
+    device = FakeMaster(sim, "device")
+    memory = FakeSlave(sim, "memory")
+    device.port.bind(link.downstream_if.slave_port)
+    link.upstream_if.master_port.bind(memory.port)
+    return link, device, memory
+
+
+def test_corrupted_ack_is_silently_ignored():
+    sim = Simulator()
+    link, device, memory = build_dma_path(sim, dllp_error_rate=1.0)
+    tx, rx = link.downstream_if, link.upstream_if
+
+    device.write(0x1000, 64)
+    # Run long enough for delivery + the coalesced ACK, but stop before
+    # the replay timer fires.
+    sim.run(until=link.replay_timeout - 1)
+    assert len(memory.requests) == 1
+    assert rx.acks_sent.value() >= 1          # the receiver did ACK...
+    assert tx.acks_received.value() == 0      # ...but it was discarded
+    assert tx.dllp_corrupted.value() >= 1
+    assert len(tx.replay_buffer) == 1         # nothing was purged
+    assert tx._replay_event.scheduled
+
+
+def test_lost_ack_recovers_via_replay_timeout_not_deadlock():
+    sim = Simulator()
+    link, device, memory = build_dma_path(sim, dllp_error_rate=1.0)
+    tx, rx = link.downstream_if, link.upstream_if
+
+    device.write(0x1000, 64)
+    # With every DLLP corrupted the sender replays forever; wait for the
+    # first full timeout->replay->duplicate cycle to prove the path.
+    sim.run(until=link.replay_timeout * 2)
+    assert tx.timeouts.value() >= 1
+    assert tx.tlp_replays.value() >= 1
+    assert rx.out_of_seq.value() >= 1         # duplicate replay re-ACKed
+    assert len(memory.requests) == 1          # still delivered only once
+
+    # Heal the link: the next re-ACK gets through, the buffer purges,
+    # and the transaction completes without any further replays.
+    link.dllp_error_rate = 0.0
+    replays_when_healed = tx.tlp_replays.value()
+    sim.run(max_events=1_000_000)
+    assert len(memory.requests) == 1
+    assert len(device.responses) == 1
+    assert len(tx.replay_buffer) == 0
+    assert not tx._replay_event.scheduled
+    assert tx.acks_received.value() >= 1
+    # At most one replay was in flight when the link healed.
+    assert tx.tlp_replays.value() <= replays_when_healed + 1
+
+
+def test_lossy_dllps_never_duplicate_or_reorder_deliveries():
+    sim = Simulator()
+    link, device, memory = build_dma_path(
+        sim, dllp_error_rate=0.5, error_seed=7,
+    )
+    expected = [device.write(0x1000 + i * 64, 64).req_id for i in range(12)]
+    sim.run(max_events=3_000_000)
+    assert [pkt.req_id for pkt in memory.requests] == expected
+    assert sorted(pkt.req_id for pkt in device.responses) == sorted(expected)
+    assert link.upstream_if.dllp_corrupted.value() > 0
+    assert link.downstream_if.timeouts.value() > 0
+    assert len(link.downstream_if.replay_buffer) == 0
+
+
+def test_dllp_error_injection_is_deterministic():
+    def run(seed):
+        sim = Simulator()
+        link, device, memory = build_dma_path(
+            sim, dllp_error_rate=0.3, error_seed=seed,
+        )
+        for i in range(8):
+            device.write(0x1000 + i * 64, 64)
+        final = sim.run(max_events=3_000_000)
+        return (final, link.downstream_if.timeouts.value(),
+                link.upstream_if.dllp_corrupted.value())
+
+    assert run(3) == run(3)
+    # A different seed corrupts a different subset: same-seed equality
+    # above is not vacuous.
+    assert run(3) != run(4)

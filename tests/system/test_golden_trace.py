@@ -1,0 +1,78 @@
+"""Golden-trace regression tests.
+
+The files in ``tests/golden/`` are the canonical, byte-exact TLP
+lifecycles of two scenarios (see ``tests/golden/scenario.py``).  These
+tests fail on *any* change to event ordering, tick values, sequence
+numbers or the trace vocabulary — if the change was deliberate,
+regenerate with ``PYTHONPATH=src:. python tests/golden/regen.py`` and
+commit the diff alongside its cause.
+"""
+
+import difflib
+
+import pytest
+
+from repro.obs.trace import load_trace
+from repro.sim import ticks
+
+from tests.golden.scenario import SCENARIOS, golden_path, run_scenario
+
+
+def read_golden(name: str) -> str:
+    with open(golden_path(name)) as fh:
+        return fh.read()
+
+
+def first_difference(got: str, want: str) -> str:
+    diff = difflib.unified_diff(
+        want.splitlines(), got.splitlines(),
+        fromfile="golden", tofile="this run", lineterm="", n=1,
+    )
+    lines = list(diff)[:12]
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_trace_matches_golden_byte_for_byte(name):
+    got = run_scenario(name)
+    want = read_golden(name)
+    assert got == want, (
+        f"trace diverged from tests/golden/{name}.jsonl — if deliberate, "
+        f"regenerate via tests/golden/regen.py.  First difference:\n"
+        f"{first_difference(got, want)}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_two_fresh_simulators_produce_identical_bytes(name):
+    # The tracer's dense TLP ids make this hold even though packet ids
+    # come from a process-global counter.
+    assert run_scenario(name) == run_scenario(name)
+
+
+def test_goldens_are_wellformed_traces():
+    for name in SCENARIOS:
+        header, events = load_trace(golden_path(name))
+        assert header["meta"]["scenario"] == name
+        assert header["meta"]["error_rate"] == SCENARIOS[name]["error_rate"]
+        assert len(events) > 1000
+        kinds = {ev["ev"] for ev in events}
+        assert {"tlp_tx", "tlp_deliver", "dllp_tx", "ingress", "egress"} <= kinds
+        if name == "dd_gen2x1_err":
+            # The error-injected golden exercises the recovery machinery.
+            assert "tlp_corrupt" in kinds
+            assert any(ev.get("replay") for ev in events if ev["ev"] == "tlp_tx")
+
+
+def test_golden_is_sensitive_to_a_one_knob_timing_change():
+    # +1 ns of switch latency must flip the comparison red: the golden
+    # pins timestamps, not just event order.
+    got = run_scenario("dd_gen2x1", switch_latency=ticks.from_ns(151))
+    assert got != read_golden("dd_gen2x1")
+
+
+def test_golden_is_sensitive_to_a_replay_policy_change():
+    # A two-entry replay buffer throttles the source where the default
+    # four never fills at this block size.
+    got = run_scenario("dd_gen2x1_err", replay_buffer_size=2)
+    assert got != read_golden("dd_gen2x1_err")
