@@ -1,18 +1,32 @@
-"""Benchmark harness helpers.
+"""Benchmark harness: sweep execution, artifact persistence, and a CLI.
 
 Every figure/table reproduction boils down to: build the paper's
 validation (or NIC) topology with one knob changed, run ``dd`` (or the
 MMIO kernel module), and extract throughput plus link-layer statistics.
-These helpers do that and persist each experiment's rows to
+The configurations live in :mod:`benchmarks.sweeps`; this module runs
+them through the :class:`repro.exp.SweepEngine` (result cache under
+``benchmarks/results/.cache``, wall-clock records appended to
+``benchmarks/results/BENCH_sweeps.json``) and persists result rows to
 ``benchmarks/results/<name>.json`` so EXPERIMENTS.md can quote them.
+
+Run one experiment from the command line, fanned out over workers::
+
+    python -m benchmarks.harness fig9b --workers 4
+
+:func:`run_dd` / :func:`run_mmio` remain as direct, traceable one-shot
+entry points — they bypass the cache and can attach trace sinks, which
+sweep points (pure, cacheable functions) deliberately cannot.
 """
 
+import argparse
 import json
 import os
+import sys
 from typing import Dict, Optional, Sequence
 
 from benchmarks import config
 from repro.analysis.report import Table, link_replay_stats
+from repro.exp import SweepEngine, SweepResult, Sweep
 from repro.obs import ChromeTraceSink, JsonlSink, write_stats_json
 from repro.sim import ticks
 from repro.system.topology import build_nic_system, build_validation_system
@@ -20,6 +34,50 @@ from repro.workloads.dd import DdWorkload
 from repro.workloads.mmio import MmioReadBench
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Sweep-point results are memoised here, keyed by config hash.
+CACHE_DIR = os.path.join(RESULTS_DIR, ".cache")
+
+#: Wall-clock record of every sweep run (see repro.exp.bench).
+BENCH_PATH = os.path.join(RESULTS_DIR, "BENCH_sweeps.json")
+
+#: Set REPRO_SWEEP_CACHE=off (or 0/no) to force fresh simulation.
+CACHE_ENV = "REPRO_SWEEP_CACHE"
+
+
+def _cache_enabled() -> bool:
+    """Whether the on-disk result cache is active for harness sweeps."""
+    return os.environ.get(CACHE_ENV, "").strip().lower() not in (
+        "off", "0", "no", "false")
+
+
+def run_sweep(sweep: Sweep, workers: Optional[int] = None,
+              cache: Optional[bool] = None,
+              results_dir: Optional[str] = None) -> SweepResult:
+    """Run one sweep through the engine with the harness's conventions.
+
+    Args:
+        sweep: the sweep to run (usually from :mod:`benchmarks.sweeps`).
+        workers: worker processes; None defers to ``REPRO_SWEEP_WORKERS``
+            (default serial).
+        cache: force the result cache on/off; None consults the
+            ``REPRO_SWEEP_CACHE`` environment variable (default on).
+        results_dir: override the artifact directory (used by the CLI's
+            ``--results-dir``; created if missing).
+
+    Returns:
+        The :class:`repro.exp.SweepResult`; its ``results`` mapping is
+        byte-identical across worker counts and cache states.
+    """
+    root = results_dir or RESULTS_DIR
+    os.makedirs(root, exist_ok=True)
+    use_cache = _cache_enabled() if cache is None else cache
+    engine = SweepEngine(
+        cache_dir=os.path.join(root, ".cache") if use_cache else None,
+        bench_path=os.path.join(root, "BENCH_sweeps.json"),
+        workers=workers,
+    )
+    return engine.run(sweep)
 
 
 def run_dd(block_bytes: int, startup_overhead: Optional[int] = None,
@@ -94,19 +152,80 @@ def run_mmio(rc_latency_ns: int, iterations: int = 50,
     return bench.mean_latency_ns
 
 
-def save_results(name: str, payload: dict) -> str:
+def save_results(name: str, payload: dict,
+                 results_dir: Optional[str] = None) -> str:
     """Persist one experiment's data under benchmarks/results/."""
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.json")
+    root = results_dir or RESULTS_DIR
+    os.makedirs(root, exist_ok=True)
+    path = os.path.join(root, f"{name}.json")
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
     return path
 
 
 def table_to_payload(table: Table) -> dict:
+    """Flatten an analysis Table into the persisted JSON shape."""
     return {
         "title": table.title,
         "x_label": table.x_label,
         "y_label": table.y_label,
         "series": {s.name: {str(x): s.points[x] for x in s.xs()} for s in table.series},
     }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: run one named experiment sweep and persist its raw results.
+
+    Unknown experiment names exit with status 2 and the list of known
+    names on stderr (no traceback); the results directory is created if
+    missing.
+    """
+    from benchmarks import sweeps
+
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.harness",
+        description="Run one paper-figure sweep through the cache-aware "
+                    "parallel sweep engine.",
+    )
+    parser.add_argument("benchmark", nargs="?",
+                        help="experiment name (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list known experiment names and exit")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for cache misses "
+                             "(default: $REPRO_SWEEP_WORKERS or 1)")
+    parser.add_argument("--fresh", action="store_true",
+                        help="ignore the result cache and re-simulate")
+    parser.add_argument("--results-dir", default=None, metavar="DIR",
+                        help=f"artifact directory (default: {RESULTS_DIR})")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(sorted(sweeps.SWEEPS)))
+        return 0
+    if not args.benchmark:
+        parser.print_usage(sys.stderr)
+        print("error: no benchmark name given (try --list)", file=sys.stderr)
+        return 2
+    builder = sweeps.SWEEPS.get(args.benchmark)
+    if builder is None:
+        known = ", ".join(sorted(sweeps.SWEEPS))
+        print(f"error: unknown benchmark {args.benchmark!r}; "
+              f"known benchmarks: {known}", file=sys.stderr)
+        return 2
+
+    sweep = builder()
+    result = run_sweep(sweep, workers=args.workers,
+                       cache=False if args.fresh else None,
+                       results_dir=args.results_dir)
+    path = save_results(f"{sweep.name}_sweep", result.results,
+                        results_dir=args.results_dir)
+    print(result.summary())
+    print(f"results: {path}")
+    print(f"wall-clock record: "
+          f"{os.path.join(args.results_dir or RESULTS_DIR, 'BENCH_sweeps.json')}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Sweep definitions for every paper figure/table reproduction.
+
+One builder per experiment, each returning a :class:`repro.exp.Sweep`
+whose points carry only canonical-JSON-safe parameters (so they cache
+and parallelise; see :mod:`repro.exp.spec`).  The benchmark test files
+and the ``python -m benchmarks.harness`` CLI both consume these, which
+keeps the set of simulated configurations defined in exactly one place.
+
+Point keys are stable, human-readable labels (``"128MB/x8"``,
+``"rc100"``) — they are the merge keys of the persisted results, so
+renaming one invalidates nothing in the cache but does change the
+result document.
+"""
+
+from benchmarks import config
+from repro.exp import Sweep
+
+#: Dotted runner paths (see repro.exp.points for the implementations).
+DD = "repro.exp.points:dd_point"
+MMIO = "repro.exp.points:mmio_point"
+CLASSIC_PCI = "repro.exp.points:classic_pci_point"
+
+#: Fig. 9(b) sweeps the paper's smallest and a mid-size block.
+FIG9B_BLOCKS = ("64MB", "256MB")
+
+#: Fig. 9(c)/(d) and the ablations use one mid/low block size.
+FIG9CD_BLOCK = "128MB"
+ABLATION_BLOCK = "64MB"
+
+
+def _dd_params(block_label, **overrides):
+    """Calibrated dd-point parameters for one paper block size."""
+    params = dict(config.SYSTEM_DEFAULTS)
+    params["block_bytes"] = config.BLOCK_SIZES[block_label]
+    params["startup_overhead"] = config.DD_STARTUP
+    params.update(overrides)
+    return params
+
+
+def fig9a_sweep() -> Sweep:
+    """Fig. 9(a): block size × switch latency (50/100/150 ns)."""
+    sweep = Sweep("fig9a")
+    for label in config.BLOCK_SIZES:
+        for ns in config.SWITCH_LATENCIES_NS:
+            sweep.add(f"{label}/L{ns}", DD,
+                      **_dd_params(label, switch_latency_ns=ns))
+    return sweep
+
+
+def fig9b_sweep() -> Sweep:
+    """Fig. 9(b): link width x1/x2/x4/x8, all links swept together."""
+    sweep = Sweep("fig9b")
+    for label in FIG9B_BLOCKS:
+        for width in config.LINK_WIDTHS:
+            sweep.add(f"{label}/x{width}", DD,
+                      **_dd_params(label, root_link_width=width,
+                                   device_link_width=width))
+    return sweep
+
+
+def fig9c_sweep() -> Sweep:
+    """Fig. 9(c): x8 fabric, replay-buffer size 1/2/3/4."""
+    sweep = Sweep("fig9c")
+    for rb in config.REPLAY_BUFFER_SIZES:
+        sweep.add(f"rb{rb}", DD,
+                  **_dd_params(FIG9CD_BLOCK, root_link_width=8,
+                               device_link_width=8, replay_buffer_size=rb))
+    return sweep
+
+
+def fig9d_sweep() -> Sweep:
+    """Fig. 9(d): x8 fabric, port buffers 16/20/24/28 (+rb2 reference)."""
+    sweep = Sweep("fig9d")
+    for buf in config.PORT_BUFFER_SIZES:
+        sweep.add(f"buf{buf}", DD,
+                  **_dd_params(FIG9CD_BLOCK, root_link_width=8,
+                               device_link_width=8, buffer_size=buf))
+    sweep.add("rb2_reference", DD,
+              **_dd_params(FIG9CD_BLOCK, root_link_width=8,
+                           device_link_width=8, replay_buffer_size=2))
+    return sweep
+
+
+def table2_sweep() -> Sweep:
+    """Table II: root-complex latency vs 4-byte MMIO read time."""
+    sweep = Sweep("table2")
+    for ns in config.RC_LATENCIES_NS:
+        params = dict(config.SYSTEM_DEFAULTS)
+        sweep.add(f"rc{ns}", MMIO, rc_latency_ns=ns, **params)
+    return sweep
+
+
+def ablations_sweep() -> Sweep:
+    """DESIGN.md's modelling-decision ablations (not paper figures)."""
+    sweep = Sweep("ablations")
+    sweep.add("baseline", DD, **_dd_params(ABLATION_BLOCK))
+    sweep.add("posted_writes", DD,
+              **_dd_params(ABLATION_BLOCK, posted_writes=True))
+    sweep.add("ack_timer", DD, **_dd_params(ABLATION_BLOCK, ack_policy="timer"))
+    sweep.add("engine_datapath", DD,
+              **_dd_params(ABLATION_BLOCK, datapath_scope="engine"))
+    sweep.add("gen1", DD, **_dd_params(ABLATION_BLOCK, gen="GEN1"))
+    sweep.add("gen3", DD, **_dd_params(ABLATION_BLOCK, gen="GEN3"))
+    sweep.add("zero_switch_latency", DD,
+              **_dd_params(ABLATION_BLOCK, switch_latency_ns=0))
+    sweep.add("classic_pci", CLASSIC_PCI,
+              block_bytes=config.BLOCK_SIZES[ABLATION_BLOCK],
+              startup_overhead=config.DD_STARTUP)
+    return sweep
+
+
+def device_level_sweep() -> Sweep:
+    """Section VI-B in-text: device-level sector throughput, Gen 2 x1."""
+    sweep = Sweep("device_level")
+    sweep.add("gen2_x1", DD, **_dd_params("64MB"))
+    return sweep
+
+
+#: CLI/EXPERIMENTS.md registry: experiment name -> sweep builder.
+SWEEPS = {
+    "fig9a": fig9a_sweep,
+    "fig9b": fig9b_sweep,
+    "fig9c": fig9c_sweep,
+    "fig9d": fig9d_sweep,
+    "table2": table2_sweep,
+    "ablations": ablations_sweep,
+    "device_level": device_level_sweep,
+}

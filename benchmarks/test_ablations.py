@@ -14,41 +14,39 @@ paper discusses qualitatively:
 * **generation sweep** — Gen 1/2/3 at fixed width;
 * **cut-through-like switching** — the paper models store-and-forward
   and cites 150 ns market-typical switches; dropping the latency toward
-  zero bounds what cut-through could buy.
+  zero bounds what cut-through could buy;
+* **classic PCI** — Section II background quantified: the shared
+  33 MHz PCI bus versus the PCI-Express fabric on the same workload.
 """
 
 import pytest
 
-from benchmarks import config
-from benchmarks.harness import run_dd, save_results
-from repro.pcie.timing import PcieGen
-from repro.sim import ticks
-
-BLOCK = config.BLOCK_SIZES["64MB"]
+from benchmarks import sweeps
+from benchmarks.harness import run_sweep, save_results
 
 
 @pytest.fixture(scope="module")
 def ablations():
-    rows = {
-        "baseline": run_dd(BLOCK),
-        "posted_writes": run_dd(BLOCK, posted_writes=True),
-        "ack_timer": run_dd(BLOCK, ack_policy="timer"),
-        "engine_datapath": run_dd(BLOCK, datapath_scope="engine"),
-        "gen1": run_dd(BLOCK, gen=PcieGen.GEN1),
-        "gen3": run_dd(BLOCK, gen=PcieGen.GEN3),
-        "zero_switch_latency": run_dd(BLOCK, switch_latency=0),
-    }
+    result = run_sweep(sweeps.ablations_sweep())
+    print("\n" + result.summary())
+    rows = dict(result.results)
     print("\n# Ablations (dd, 64MB block, Gen2 x4 root / x1 device unless noted)")
     for name, r in rows.items():
-        print(f"  {name:>20}: {r['throughput_gbps']:.3f} Gbps "
-              f"(replay {100 * r['replay_fraction']:.1f}%)")
-    save_results("ablations", rows)
+        replay = r.get("replay_fraction")
+        note = f" (replay {100 * replay:.1f}%)" if replay is not None else ""
+        print(f"  {name:>20}: {r['throughput_gbps']:.3f} Gbps{note}")
+    save_results("ablations",
+                 {k: v for k, v in rows.items() if k != "classic_pci"})
+    save_results("ablation_classic_pci", {
+        "classic_pci_gbps": rows["classic_pci"]["throughput_gbps"],
+        "pcie_gen2_x1_gbps": rows["baseline"]["throughput_gbps"],
+    })
     return rows
 
 
 def test_ablations_generate(benchmark, ablations):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    assert len(ablations) == 7
+    assert len(ablations) == 8
 
 
 def test_posted_writes_raise_throughput(benchmark, ablations):
@@ -92,23 +90,9 @@ def test_cut_through_bound_is_modest(benchmark, ablations):
 
 
 def test_classic_pci_baseline_far_below_pcie(benchmark, ablations):
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     """Section II background, quantified: the shared 33 MHz PCI bus
     versus the PCI-Express fabric on the same workload."""
-    from benchmarks.harness import save_results
-    from repro.system.topology import build_classic_pci_system
-    from repro.workloads.dd import DdWorkload
-
-    system = build_classic_pci_system()
-    dd = DdWorkload(system.kernel, system.disk_driver, BLOCK,
-                    startup_overhead=config.DD_STARTUP)
-    process = system.kernel.spawn("dd", dd.run())
-    system.run(max_events=500_000_000)
-    assert process.done
-    classic = dd.result.throughput_gbps
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    classic = ablations["classic_pci"]["throughput_gbps"]
     print(f"  classic 33 MHz PCI bus: {classic:.3f} Gbps")
-    save_results("ablation_classic_pci", {
-        "classic_pci_gbps": classic,
-        "pcie_gen2_x1_gbps": ablations["baseline"]["throughput_gbps"],
-    })
     assert ablations["baseline"]["throughput_gbps"] > 2 * classic

@@ -13,14 +13,16 @@ Paper's observations this reproduction must match in shape:
 
 import pytest
 
-from benchmarks import config
-from benchmarks.harness import run_dd, save_results, table_to_payload
+from benchmarks import config, sweeps
+from benchmarks.harness import run_sweep, save_results, table_to_payload
 from repro.analysis.report import Table
-from repro.sim import ticks
 from repro.validation.physical_reference import PhysicalSetup
 
 
 def build_table() -> Table:
+    """Run the Fig. 9(a) sweep and shape it into the figure's table."""
+    result = run_sweep(sweeps.fig9a_sweep())
+    print("\n" + result.summary())
     table = Table("Fig 9(a): dd throughput vs block size",
                   "block", "Gbps")
     phys = PhysicalSetup(host_efficiency=0.86, startup_cost=config.PHYS_STARTUP)
@@ -31,8 +33,8 @@ def build_table() -> Table:
     for label, nbytes in config.BLOCK_SIZES.items():
         phys_series.add(label, phys.dd_throughput_gbps(nbytes))
         for ns in config.SWITCH_LATENCIES_NS:
-            result = run_dd(nbytes, switch_latency=ticks.from_ns(ns))
-            sim_series[ns].add(label, result["throughput_gbps"])
+            point = result.results[f"{label}/L{ns}"]
+            sim_series[ns].add(label, point["throughput_gbps"])
     return table
 
 

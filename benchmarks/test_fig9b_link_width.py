@@ -16,23 +16,25 @@ magnitude of the x8 throughput penalty is smaller than the paper's
 
 import pytest
 
-from benchmarks import config
-from benchmarks.harness import run_dd, save_results, table_to_payload
+from benchmarks import config, sweeps
+from benchmarks.harness import run_sweep, save_results, table_to_payload
 from repro.analysis.report import Table
 
-BLOCKS = {"64MB": config.BLOCK_SIZES["64MB"], "256MB": config.BLOCK_SIZES["256MB"]}
+BLOCKS = sweeps.FIG9B_BLOCKS
 
 
 def build_results():
+    """Run the Fig. 9(b) sweep; return its table and replay fractions."""
+    result = run_sweep(sweeps.fig9b_sweep())
+    print("\n" + result.summary())
     table = Table("Fig 9(b): dd throughput vs link width", "block", "Gbps")
     replay = {}
     series = {w: table.new_series(f"x{w}") for w in config.LINK_WIDTHS}
-    for label, nbytes in BLOCKS.items():
+    for label in BLOCKS:
         for width in config.LINK_WIDTHS:
-            result = run_dd(nbytes, root_link_width=width,
-                            device_link_width=width)
-            series[width].add(label, result["throughput_gbps"])
-            replay[(label, width)] = result["replay_fraction"]
+            point = result.results[f"{label}/x{width}"]
+            series[width].add(label, point["throughput_gbps"])
+            replay[(label, width)] = point["replay_fraction"]
     return table, replay
 
 

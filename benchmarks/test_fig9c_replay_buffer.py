@@ -12,19 +12,16 @@ Paper's observations:
 
 import pytest
 
-from benchmarks import config
-from benchmarks.harness import run_dd, save_results
-from repro.analysis.report import Table
-
-BLOCK = config.BLOCK_SIZES["128MB"]
+from benchmarks import config, sweeps
+from benchmarks.harness import run_sweep, save_results
 
 
 @pytest.fixture(scope="module")
 def fig9c():
-    rows = {}
-    for rb in config.REPLAY_BUFFER_SIZES:
-        rows[rb] = run_dd(BLOCK, root_link_width=8, device_link_width=8,
-                          replay_buffer_size=rb)
+    result = run_sweep(sweeps.fig9c_sweep())
+    print("\n" + result.summary())
+    rows = {rb: result.results[f"rb{rb}"]
+            for rb in config.REPLAY_BUFFER_SIZES}
     print("\n# Fig 9(c): x8, replay buffer sweep (block 128MB)")
     print(f"{'rb':>3} {'Gbps':>7} {'replay%':>8} {'timeouts':>9}")
     for rb, r in rows.items():

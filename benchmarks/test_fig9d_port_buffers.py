@@ -15,20 +15,17 @@ Paper's observations:
 
 import pytest
 
-from benchmarks import config
-from benchmarks.harness import run_dd, save_results
-
-BLOCK = config.BLOCK_SIZES["128MB"]
+from benchmarks import config, sweeps
+from benchmarks.harness import run_sweep, save_results
 
 
 @pytest.fixture(scope="module")
 def fig9d():
-    rows = {}
-    for buf in config.PORT_BUFFER_SIZES:
-        rows[buf] = run_dd(BLOCK, root_link_width=8, device_link_width=8,
-                           buffer_size=buf)
-    rows["rb2_reference"] = run_dd(BLOCK, root_link_width=8,
-                                   device_link_width=8, replay_buffer_size=2)
+    result = run_sweep(sweeps.fig9d_sweep())
+    print("\n" + result.summary())
+    rows = {buf: result.results[f"buf{buf}"]
+            for buf in config.PORT_BUFFER_SIZES}
+    rows["rb2_reference"] = result.results["rb2_reference"]
     print("\n# Fig 9(d): x8, port buffer sweep (block 128MB)")
     print(f"{'buf':>4} {'Gbps':>7} {'replay%':>8} {'timeouts':>9}")
     for buf in config.PORT_BUFFER_SIZES:

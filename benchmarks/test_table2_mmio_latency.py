@@ -9,15 +9,18 @@ because the request *and* the response both cross the root complex.
 
 import pytest
 
-from benchmarks import config
-from benchmarks.harness import run_mmio, save_results
+from benchmarks import config, sweeps
+from benchmarks.harness import run_sweep, save_results
 
 PAPER_TABLE2 = {50: 318, 75: 358, 100: 398, 125: 438, 150: 517}
 
 
 @pytest.fixture(scope="module")
 def table2():
-    rows = {ns: run_mmio(ns) for ns in config.RC_LATENCIES_NS}
+    result = run_sweep(sweeps.table2_sweep())
+    print("\n" + result.summary())
+    rows = {ns: result.results[f"rc{ns}"]["mmio_read_ns"]
+            for ns in config.RC_LATENCIES_NS}
     print("\n# Table II: root complex latency vs MMIO read access time (ns)")
     print(f"{'rc_latency':>11} {'measured':>9} {'paper':>7}")
     for ns in config.RC_LATENCIES_NS:

@@ -8,40 +8,62 @@ read — including the counter-intuitive regime where a *faster* link
 performs no better because switch-port buffers overflow and the
 data-link layer replays packets (the paper's Figure 9(b)).
 
-Run:  python examples/link_width_exploration.py
+The 12-point sweep runs through :class:`repro.exp.SweepEngine`: points
+fan out across worker processes and are memoised on disk, so the second
+invocation answers from cache in milliseconds.
+
+Run:  python examples/link_width_exploration.py [--workers N] [--fresh]
 """
 
-from repro.analysis.report import Table, link_replay_stats
-from repro.pcie.timing import PcieGen
-from repro.system.topology import build_validation_system
-from repro.workloads.dd import DdWorkload
+import argparse
+import shutil
+
+from repro.analysis.report import Table
+from repro.exp import Sweep, SweepEngine
 
 BLOCK = 512 * 1024  # keep the sweep quick
+CACHE_DIR = ".sweep-cache"
+GENS = ("GEN1", "GEN2", "GEN3")
+WIDTHS = (1, 2, 4, 8)
 
 
-def measure(gen: PcieGen, width: int):
-    system = build_validation_system(gen=gen, root_link_width=width,
-                                     device_link_width=width)
-    dd = DdWorkload(system.kernel, system.disk_driver, BLOCK,
-                    startup_overhead=0)
-    system.kernel.spawn("dd", dd.run())
-    system.run()
-    stats = link_replay_stats(system.disk_link)
-    return dd.result.throughput_gbps, stats["replay_fraction"]
+def build_sweep() -> Sweep:
+    """Generation × width over the validation fabric, no startup cost."""
+    sweep = Sweep("link_width_exploration")
+    for gen in GENS:
+        for width in WIDTHS:
+            sweep.add(f"{gen}/x{width}", "repro.exp.points:dd_point",
+                      block_bytes=BLOCK, startup_overhead=0, gen=gen,
+                      root_link_width=width, device_link_width=width)
+    return sweep
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel worker processes "
+                             "(default: $REPRO_SWEEP_WORKERS or 1)")
+    parser.add_argument("--fresh", action="store_true",
+                        help="drop the local result cache first")
+    args = parser.parse_args()
+    if args.fresh:
+        shutil.rmtree(CACHE_DIR, ignore_errors=True)
+
+    engine = SweepEngine(cache_dir=CACHE_DIR, workers=args.workers)
+    result = engine.run(build_sweep())
+    print(result.summary())
+
     table = Table("dd throughput vs link configuration", "width", "Gbps")
     replay_notes = []
-    for gen in (PcieGen.GEN1, PcieGen.GEN2, PcieGen.GEN3):
-        series = table.new_series(gen.name)
-        for width in (1, 2, 4, 8):
-            gbps, replay = measure(gen, width)
-            series.add(f"x{width}", gbps)
-            if replay > 0.01:
+    for gen in GENS:
+        series = table.new_series(gen)
+        for width in WIDTHS:
+            point = result.results[f"{gen}/x{width}"]
+            series.add(f"x{width}", point["throughput_gbps"])
+            if point["replay_fraction"] > 0.01:
                 replay_notes.append(
-                    f"  {gen.name} x{width}: {replay:.1%} of TLPs replayed "
-                    f"(port buffers overflow at this width)"
+                    f"  {gen} x{width}: {point['replay_fraction']:.1%} of TLPs "
+                    f"replayed (port buffers overflow at this width)"
                 )
     print(table.render("{:.2f}"))
     if replay_notes:
@@ -49,6 +71,7 @@ def main() -> None:
         print("\n".join(replay_notes))
     print("\nReading: throughput stops scaling once the link outruns the")
     print("switch/root-complex ports — exactly the paper's x8 observation.")
+    print(f"(results cached under {CACHE_DIR}/; rerun to see a full-cache hit)")
 
 
 if __name__ == "__main__":

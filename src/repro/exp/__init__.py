@@ -1,0 +1,59 @@
+"""Experiment orchestration: sweeps, caching, and parallel fan-out.
+
+The paper's payoff is design-space exploration — sweeping link width,
+replay-buffer depth, port buffering, and root-complex latency over the
+same deterministic model.  This package makes that exploration a
+first-class interface:
+
+* :mod:`repro.exp.spec` — declare a :class:`Sweep` of independent,
+  JSON-parameterised :class:`SweepPoint` simulations;
+* :mod:`repro.exp.cache` — memoise point results on disk, keyed by a
+  canonical hash of (runner, params, schema version);
+* :mod:`repro.exp.engine` — run a sweep through the cache and a
+  ``multiprocessing`` pool, merging results in declaration order so
+  parallel output is byte-identical to serial;
+* :mod:`repro.exp.points` — the library's standard point runners
+  (``dd`` on the validation fabric, MMIO on the NIC topology, the
+  classic-PCI baseline);
+* :mod:`repro.exp.bench` — per-run wall-clock records
+  (``BENCH_sweeps.json``).
+
+Quick taste::
+
+    from repro.exp import Sweep, SweepEngine
+
+    sweep = Sweep("widths")
+    for width in (1, 2, 4, 8):
+        sweep.add(f"x{width}", "repro.exp.points:dd_point",
+                  block_bytes=1 << 20,
+                  root_link_width=width, device_link_width=width)
+    result = SweepEngine(cache_dir=".sweep-cache").run(sweep, workers=4)
+    print(result.summary())
+    print(result.results["x8"]["throughput_gbps"])
+"""
+
+from repro.exp.bench import append_record, load_records
+from repro.exp.cache import (
+    RESULT_SCHEMA_VERSION,
+    ResultCache,
+    cache_key,
+    canonical_json,
+)
+from repro.exp.engine import SweepEngine, SweepResult, default_workers
+from repro.exp.spec import Sweep, SweepPoint, resolve_runner, runner_path
+
+__all__ = [
+    "Sweep",
+    "SweepPoint",
+    "SweepEngine",
+    "SweepResult",
+    "ResultCache",
+    "RESULT_SCHEMA_VERSION",
+    "cache_key",
+    "canonical_json",
+    "append_record",
+    "load_records",
+    "default_workers",
+    "resolve_runner",
+    "runner_path",
+]

@@ -1,0 +1,56 @@
+"""Wall-clock records for sweep runs (``BENCH_sweeps.json``).
+
+Simulation *results* are deterministic and cached; how long they took
+to produce is not, and that trajectory is worth keeping — it is the
+evidence that parallel fan-out and caching actually pay.  Each
+:meth:`repro.exp.engine.SweepEngine.run` appends one record here with
+per-point and total wall-clock times plus the cache hit/miss split.
+
+The file is a JSON list of records, rewritten atomically on every
+append so a killed run never leaves a truncated file.
+"""
+
+import json
+import os
+import tempfile
+import time
+from typing import Any, Dict, List
+
+__all__ = ["append_record", "load_records"]
+
+
+def load_records(path: str) -> List[Dict[str, Any]]:
+    """Read the record list at ``path``; missing/corrupt files → []."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            records = json.load(fh)
+    except (OSError, ValueError):
+        return []
+    return records if isinstance(records, list) else []
+
+
+def append_record(path: str, record: Dict[str, Any]) -> Dict[str, Any]:
+    """Append one run record to the list at ``path`` (atomically).
+
+    A ``timestamp`` (Unix seconds) is stamped onto the record if the
+    caller did not provide one.  Returns the stored record.
+    """
+    record = dict(record)
+    record.setdefault("timestamp", round(time.time(), 3))
+    records = load_records(path)
+    records.append(record)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return record

@@ -1,0 +1,139 @@
+"""Library-level sweep-point runners.
+
+These are the functions sweep points reference by dotted path
+(``"repro.exp.points:dd_point"``).  Each builds a fresh system, runs
+one workload to completion, and returns a flat, canonical-JSON-safe
+metrics dict — no tracing, no file output, no shared state — so a
+point is exactly as reproducible from its parameters as the cache
+assumes.
+
+Parameters are deliberately restricted to JSON-safe scalars: PCIe
+generations travel as their enum *name* (``"GEN3"``), latencies as
+nanosecond integers with a ``_ns`` suffix, and tick quantities (such
+as ``service_interval`` or ``startup_overhead``) as plain tick ints.
+"""
+
+from typing import Any, Dict, Optional
+
+from repro.analysis.report import link_replay_stats
+from repro.pcie.timing import PcieGen
+from repro.sim import ticks
+from repro.system.topology import (
+    build_classic_pci_system,
+    build_nic_system,
+    build_validation_system,
+)
+from repro.workloads.dd import DdWorkload
+from repro.workloads.mmio import MmioReadBench
+
+__all__ = ["dd_point", "mmio_point", "classic_pci_point"]
+
+#: Guard against wedged simulations when a point runs unattended in a
+#: worker process; matches the benchmark harness's historical bound.
+_MAX_EVENTS = 500_000_000
+
+
+def _system_kwargs(gen: Optional[str], switch_latency_ns: Optional[int],
+                   rc_latency_ns: Optional[int],
+                   extra: Dict[str, Any]) -> Dict[str, Any]:
+    """Translate JSON-safe sweep params into topology-builder kwargs."""
+    kwargs = dict(extra)
+    if gen is not None:
+        kwargs["gen"] = PcieGen[gen]
+    if switch_latency_ns is not None:
+        kwargs["switch_latency"] = ticks.from_ns(switch_latency_ns)
+    if rc_latency_ns is not None:
+        kwargs["rc_latency"] = ticks.from_ns(rc_latency_ns)
+    return kwargs
+
+
+def dd_point(block_bytes: int, startup_overhead: int = 0,
+             gen: Optional[str] = None,
+             switch_latency_ns: Optional[int] = None,
+             rc_latency_ns: Optional[int] = None,
+             **system_kwargs: Any) -> Dict[str, float]:
+    """Run one ``dd`` transfer on the paper's validation topology.
+
+    Args:
+        block_bytes: bytes transferred by the single ``dd`` block.
+        startup_overhead: dd's fixed software startup cost, in ticks.
+        gen: PCIe generation name (``"GEN1"``/``"GEN2"``/``"GEN3"``), or
+            None for the topology default.
+        switch_latency_ns: switch store-and-forward latency in ns, or
+            None for the default.
+        rc_latency_ns: root-complex latency in ns, or None for the
+            default.
+        **system_kwargs: further JSON-safe keyword arguments passed to
+            :func:`repro.system.topology.build_validation_system`
+            (``root_link_width``, ``replay_buffer_size``, ...).
+
+    Returns:
+        Flat metrics dict: dd-level and transfer-level throughput,
+        replay fraction, timeout and TLP counts, and device-level
+        per-sector throughput — everything Figures 9(a–d) and the
+        device-level check consume.
+    """
+    kwargs = _system_kwargs(gen, switch_latency_ns, rc_latency_ns, system_kwargs)
+    system = build_validation_system(**kwargs)
+    dd = DdWorkload(system.kernel, system.disk_driver, block_bytes,
+                    startup_overhead=startup_overhead)
+    process = system.kernel.spawn("dd", dd.run())
+    system.run(max_events=_MAX_EVENTS)
+    if not process.done:
+        raise RuntimeError("dd did not finish — simulation wedged?")
+    stats = link_replay_stats(system.disk_link)
+    sector_mean = system.disk.sector_transfer_ticks.mean
+    return {
+        "throughput_gbps": dd.result.throughput_gbps,
+        "transfer_gbps": dd.result.transfer_gbps,
+        "replay_fraction": stats["replay_fraction"],
+        "timeouts": stats["timeouts"],
+        "tlps_sent": stats["tlps_sent"],
+        "device_level_gbps": (
+            system.disk.sector_size * 8 / ticks.to_ns(sector_mean)
+            if sector_mean
+            else 0.0
+        ),
+    }
+
+
+def mmio_point(rc_latency_ns: int, iterations: int = 50,
+               **system_kwargs: Any) -> Dict[str, float]:
+    """Measure mean 4-byte MMIO read latency on the Table II topology.
+
+    Args:
+        rc_latency_ns: root-complex latency in nanoseconds (the swept
+            knob of Table II).
+        iterations: timed MMIO reads to average over.
+        **system_kwargs: further JSON-safe keyword arguments for
+            :func:`repro.system.topology.build_nic_system`.
+
+    Returns:
+        ``{"mmio_read_ns": <mean latency in ns>}``.
+    """
+    system = build_nic_system(rc_latency=ticks.from_ns(rc_latency_ns),
+                              **system_kwargs)
+    bench = MmioReadBench(system.kernel, system.nic_driver.bar0 + 0x8,
+                          iterations=iterations)
+    process = system.kernel.spawn("mmio", bench.run())
+    system.run()
+    if not process.done:
+        raise RuntimeError("MMIO bench did not finish")
+    return {"mmio_read_ns": bench.mean_latency_ns}
+
+
+def classic_pci_point(block_bytes: int,
+                      startup_overhead: int = 0) -> Dict[str, float]:
+    """Run one ``dd`` transfer on the classic shared-PCI-bus baseline.
+
+    Used by the PCI-vs-PCIe ablation; returns only dd-level throughput
+    because the classic bus has no link layer to report on.
+    """
+    system = build_classic_pci_system()
+    dd = DdWorkload(system.kernel, system.disk_driver, block_bytes,
+                    startup_overhead=startup_overhead)
+    process = system.kernel.spawn("dd", dd.run())
+    system.run(max_events=_MAX_EVENTS)
+    if not process.done:
+        raise RuntimeError("dd did not finish — simulation wedged?")
+    return {"throughput_gbps": dd.result.throughput_gbps}

@@ -124,7 +124,7 @@ class Packet:
         "pci_bus_num",
         "posted",
         "create_tick",
-        "annotations",
+        "_annotations",
     )
 
     def __init__(
@@ -152,10 +152,21 @@ class Packet:
         self.pci_bus_num = -1
         self.posted = cmd is MemCmd.MESSAGE
         self.create_tick = create_tick
-        # Free-form per-component scratch space (e.g. measured latencies).
-        self.annotations: dict = {}
+        # Free-form per-component scratch space (e.g. measured
+        # latencies).  Allocated lazily: most TLPs are never annotated,
+        # and the per-packet empty dict was measurable churn in the
+        # benchmark profiles.
+        self._annotations: Optional[dict] = None
 
     # -- convenience -------------------------------------------------------
+    @property
+    def annotations(self) -> dict:
+        """Per-component scratch dict, created on first access."""
+        ann = self._annotations
+        if ann is None:
+            ann = self._annotations = {}
+        return ann
+
     @property
     def is_request(self) -> bool:
         return self.cmd.is_request

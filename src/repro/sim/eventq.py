@@ -28,6 +28,12 @@ class Event:
     SIM_EXIT_PRI = 98
     MAXIMUM_PRI = 100
 
+    # Events are created per TLP/DMA step in the hot loops; slots keep
+    # them dict-free.  Subclasses that add state must declare their own
+    # __slots__ to stay that way (plain subclasses still work — they
+    # just regain a __dict__).
+    __slots__ = ("priority", "name", "_when", "_entry")
+
     def __init__(self, priority: int = DEFAULT_PRI, name: str = ""):
         self.priority = priority
         self.name = name or type(self).__name__
@@ -50,6 +56,7 @@ class Event:
 
     # -- behaviour ---------------------------------------------------------
     def process(self) -> None:
+        """The event's work; runs at its scheduled tick."""
         raise NotImplementedError
 
     def __repr__(self) -> str:
@@ -58,6 +65,8 @@ class Event:
 
 class CallbackEvent(Event):
     """An event that invokes an arbitrary callable when it fires."""
+
+    __slots__ = ("_callback",)
 
     def __init__(
         self,
@@ -69,6 +78,7 @@ class CallbackEvent(Event):
         self._callback = callback
 
     def process(self) -> None:
+        """Invoke the wrapped callable."""
         self._callback()
 
 
@@ -182,36 +192,47 @@ class EventQueue:
             The current tick when the run stopped.
         """
         self._stop_requested = False
-        serviced = 0
         # The drain below is service_one() inlined: this loop runs tens
         # of millions of iterations per benchmark, and the two extra
         # function calls per event (next_tick + service_one, each
         # re-dropping squashed heads) cost more than everything else in
         # the queue machinery.  Keep the two code paths in sync.
+        #
+        # Per-iteration costs are shaved further by folding the two
+        # optional limits into always-comparable locals (None → +inf /
+        # a countdown that never reaches zero), hoisting the tracer
+        # reference (the Simulator never replaces it — only its
+        # `enabled` flag flips), and batching the events_processed
+        # attribute store into a local counter flushed on exit.
         heap = self._heap
         pop = heapq.heappop
-        while not self._stop_requested:
-            while heap and heap[0][3] is None:
-                pop(heap)
-            if not heap:
-                break
-            when = heap[0][0]
-            if until is not None and when > until:
-                self.curtick = until
-                break
-            if max_events is not None and serviced >= max_events:
-                break
-            event = pop(heap)[3]
-            self.curtick = when
-            event._when = None
-            event._entry = None
-            self.events_processed += 1
-            trc = self.tracer
-            if trc is not None and trc.enabled:
-                trc.emit(when, "eventq", self.name, "dispatch",
-                         name=event.name, pri=event.priority)
-            event.process()
-            serviced += 1
+        trc = self.tracer
+        until_t = float("inf") if until is None else until
+        remaining = -1 if max_events is None else max_events
+        serviced = 0
+        try:
+            while not self._stop_requested:
+                while heap and heap[0][3] is None:
+                    pop(heap)
+                if not heap:
+                    break
+                when = heap[0][0]
+                if when > until_t:
+                    self.curtick = until
+                    break
+                if remaining == serviced:
+                    break
+                event = pop(heap)[3]
+                self.curtick = when
+                event._when = None
+                event._entry = None
+                serviced += 1
+                if trc is not None and trc.enabled:
+                    trc.emit(when, "eventq", self.name, "dispatch",
+                             name=event.name, pri=event.priority)
+                event.process()
+        finally:
+            self.events_processed += serviced
         return self.curtick
 
     def stop(self) -> None:

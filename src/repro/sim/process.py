@@ -61,6 +61,7 @@ class Signal:
 
     @property
     def fired(self) -> bool:
+        """True once a latched signal has notified."""
         return self._fired
 
     def notify(self, value: Any = None) -> int:
@@ -88,6 +89,7 @@ class Signal:
 
     @property
     def waiter_count(self) -> int:
+        """Processes/callbacks currently blocked on this signal."""
         return len(self._waiters)
 
     def __repr__(self) -> str:

@@ -39,17 +39,21 @@ class Simulator:
     # -- time --------------------------------------------------------------
     @property
     def curtick(self) -> int:
+        """The current simulated tick."""
         return self.eventq.curtick
 
     def schedule(self, event: Event, when: int) -> Event:
+        """Schedule ``event`` at absolute tick ``when``."""
         return self.eventq.schedule(event, when)
 
     def schedule_after(self, event: Event, delay: int) -> Event:
+        """Schedule ``event`` ``delay`` ticks from now."""
         return self.eventq.schedule_after(event, delay)
 
     def schedule_callback(
         self, delay: int, callback: Callable[[], None], name: str = ""
     ) -> CallbackEvent:
+        """Schedule a plain callable ``delay`` ticks from now."""
         return self.eventq.schedule_callback(delay, callback, name)
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
@@ -57,10 +61,12 @@ class Simulator:
         return self.eventq.run(until=until, max_events=max_events)
 
     def stop(self) -> None:
+        """Ask a run in progress to stop after the current event."""
         self.eventq.stop()
 
     # -- object registry ---------------------------------------------------
     def register(self, obj: "SimObject") -> None:
+        """Record ``obj`` in the flat object registry (done by SimObject)."""
         self._objects.append(obj)
 
     def find(self, full_name: str) -> Optional["SimObject"]:
@@ -72,13 +78,16 @@ class Simulator:
 
     @property
     def objects(self) -> List["SimObject"]:
+        """Snapshot of every registered simulation object."""
         return list(self._objects)
 
     # -- stats ---------------------------------------------------------
     def dump_stats(self) -> Dict[str, float]:
+        """Flatten the whole statistics tree to ``{dotted.name: value}``."""
         return self.stats.dump()
 
     def reset_stats(self) -> None:
+        """Reset every statistic in the tree."""
         self.stats.reset()
 
 
@@ -112,6 +121,7 @@ class SimObject:
 
     @property
     def full_name(self) -> str:
+        """Dotted gem5-style path from the root to this object."""
         parts = []
         node: Optional[SimObject] = self
         while node is not None:
@@ -122,6 +132,7 @@ class SimObject:
     # -- convenience passthroughs ------------------------------------------
     @property
     def curtick(self) -> int:
+        """The current simulated tick."""
         return self.sim.curtick
 
     def schedule(self, delay: int, callback: Callable[[], None], name: str = "") -> CallbackEvent:

@@ -28,9 +28,11 @@ class Stat:
         self.desc = desc
 
     def value(self) -> Number:
+        """The stat's headline value (subclasses define its meaning)."""
         raise NotImplementedError
 
     def reset(self) -> None:
+        """Return the stat to its just-constructed state."""
         raise NotImplementedError
 
     def dump(self) -> Dict[str, Number]:
@@ -47,15 +49,19 @@ class Scalar(Stat):
         self._value: Number = init
 
     def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (counter usage)."""
         self._value += amount
 
     def set(self, value: Number) -> None:
+        """Overwrite the value (gauge usage)."""
         self._value = value
 
     def value(self) -> Number:
+        """Current count / gauge value."""
         return self._value
 
     def reset(self) -> None:
+        """Restore the initial value."""
         self._value = self._init
 
     def __iadd__(self, amount: Number) -> "Scalar":
@@ -72,17 +78,21 @@ class Average(Stat):
         self._count: int = 0
 
     def sample(self, value: Number) -> None:
+        """Fold one observation into the mean."""
         self._sum += value
         self._count += 1
 
     @property
     def count(self) -> int:
+        """Number of samples folded in so far."""
         return self._count
 
     def value(self) -> float:
+        """The running mean (0.0 before any sample)."""
         return self._sum / self._count if self._count else 0.0
 
     def reset(self) -> None:
+        """Discard all samples."""
         self._sum = 0.0
         self._count = 0
 
@@ -99,6 +109,7 @@ class Distribution(Stat):
         self.reset()
 
     def sample(self, value: Number) -> None:
+        """Fold one observation into the running moments."""
         self._count += 1
         delta = value - self._mean
         self._mean += delta / self._count
@@ -110,30 +121,37 @@ class Distribution(Stat):
 
     @property
     def count(self) -> int:
+        """Number of samples observed."""
         return self._count
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean (0.0 before any sample)."""
         return self._mean if self._count else 0.0
 
     @property
     def stddev(self) -> float:
+        """Sample standard deviation (0.0 with fewer than two samples)."""
         if self._count < 2:
             return 0.0
         return math.sqrt(max(self._m2 / (self._count - 1), 0.0))
 
     @property
     def minimum(self) -> Optional[Number]:
+        """Smallest sample seen, or None before any sample."""
         return self._min
 
     @property
     def maximum(self) -> Optional[Number]:
+        """Largest sample seen, or None before any sample."""
         return self._max
 
     def value(self) -> float:
+        """Headline value: the mean."""
         return self.mean
 
     def reset(self) -> None:
+        """Discard all samples and moments."""
         self._count = 0
         self._mean = 0.0
         self._m2 = 0.0
@@ -141,6 +159,7 @@ class Distribution(Stat):
         self._max: Optional[Number] = None
 
     def dump(self) -> Dict[str, Number]:
+        """All moments, gem5-style ``::suffix`` keyed."""
         return {
             "::count": self._count,
             "::mean": self.mean,
@@ -159,12 +178,14 @@ class Formula(Stat):
         self._func = func
 
     def value(self) -> Number:
+        """Evaluate the formula now (division by zero reads as 0.0)."""
         try:
             return self._func()
         except ZeroDivisionError:
             return 0.0
 
     def reset(self) -> None:
+        """No state of its own; the stats it reads reset themselves."""
         pass
 
 
@@ -178,26 +199,33 @@ class StatGroup:
         self._children: List["StatGroup"] = []
 
     def add(self, stat: Stat) -> Stat:
+        """Register an existing stat in this group; returns it."""
         self._stats.append(stat)
         return stat
 
     def scalar(self, name: str, desc: str = "") -> Scalar:
+        """Create and register a :class:`Scalar`."""
         return self.add(Scalar(name, desc))  # type: ignore[return-value]
 
     def average(self, name: str, desc: str = "") -> Average:
+        """Create and register an :class:`Average`."""
         return self.add(Average(name, desc))  # type: ignore[return-value]
 
     def distribution(self, name: str, desc: str = "") -> Distribution:
+        """Create and register a :class:`Distribution`."""
         return self.add(Distribution(name, desc))  # type: ignore[return-value]
 
     def formula(self, name: str, func: Callable[[], Number], desc: str = "") -> Formula:
+        """Create and register a :class:`Formula` over ``func``."""
         return self.add(Formula(name, func, desc))  # type: ignore[return-value]
 
     def add_child(self, child: "StatGroup") -> "StatGroup":
+        """Nest another group under this one; returns the child."""
         self._children.append(child)
         return child
 
     def reset(self) -> None:
+        """Reset every stat in this group and all children."""
         for stat in self._stats:
             stat.reset()
         for child in self._children:

@@ -1,0 +1,162 @@
+"""Sweep-engine behaviour: ordering, caching, fan-out, bench records."""
+
+import json
+
+import pytest
+
+from repro.exp import (
+    Sweep,
+    SweepEngine,
+    canonical_json,
+    load_records,
+)
+from tests.exp import runners
+
+
+def cheap_sweep(n=4):
+    sweep = Sweep("cheap")
+    for x in range(n):
+        sweep.add(f"p{x}", runners.quadratic, x=x)
+    return sweep
+
+
+def test_results_follow_declaration_order(tmp_path):
+    sweep = Sweep("order")
+    for x in (3, 1, 2):
+        sweep.add(f"p{x}", runners.quadratic, x=x)
+    result = SweepEngine().run(sweep, workers=1)
+    assert list(result.results) == ["p3", "p1", "p2"]
+    assert result.results["p3"]["value"] == 9
+
+
+def test_uncached_engine_always_simulates():
+    runners.CALLS.clear()
+    engine = SweepEngine()  # no cache_dir
+    engine.run(cheap_sweep(2), workers=1)
+    engine.run(cheap_sweep(2), workers=1)
+    assert len(runners.CALLS) == 4
+
+
+def test_second_run_served_from_cache(tmp_path):
+    runners.CALLS.clear()
+    engine = SweepEngine(cache_dir=str(tmp_path / "cache"))
+    first = engine.run(cheap_sweep(3), workers=1)
+    assert first.cache_hits == 0
+    second = engine.run(cheap_sweep(3), workers=1)
+    assert second.cache_hits == 3
+    assert "3 cached" in second.summary()
+    assert len(runners.CALLS) == 3, "cached points must not re-simulate"
+    assert canonical_json(first.results) == canonical_json(second.results)
+
+
+def test_config_change_misses_cache(tmp_path):
+    engine = SweepEngine(cache_dir=str(tmp_path / "cache"))
+    engine.run(cheap_sweep(2), workers=1)
+    changed = Sweep("cheap")
+    changed.add("p0", runners.quadratic, x=0, scale=7)
+    changed.add("p1", runners.quadratic, x=1)
+    result = engine.run(changed, workers=1)
+    assert result.cached == {"p0": False, "p1": True}
+
+
+def test_schema_bump_invalidates_engine_cache(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    SweepEngine(cache_dir=cache_dir, schema_version=1).run(
+        cheap_sweep(2), workers=1)
+    result = SweepEngine(cache_dir=cache_dir, schema_version=2).run(
+        cheap_sweep(2), workers=1)
+    assert result.cache_hits == 0
+
+
+def test_corrupt_cache_entry_falls_back_to_rerun(tmp_path):
+    cache_dir = tmp_path / "cache"
+    engine = SweepEngine(cache_dir=str(cache_dir))
+    engine.run(cheap_sweep(2), workers=1)
+    for entry in cache_dir.glob("*.json"):
+        entry.write_text("not json at all {{{")
+    runners.CALLS.clear()
+    result = engine.run(cheap_sweep(2), workers=1)
+    assert result.cache_hits == 0
+    assert len(runners.CALLS) == 2
+    # And the rewritten entries serve the third run.
+    assert engine.run(cheap_sweep(2), workers=1).cache_hits == 2
+
+
+def test_runner_exception_propagates():
+    sweep = Sweep("fails")
+    sweep.add("bad", runners.failing, message="expected failure")
+    with pytest.raises(RuntimeError, match="expected failure"):
+        SweepEngine().run(sweep, workers=1)
+
+
+def test_bench_record_appended(tmp_path):
+    bench_path = str(tmp_path / "BENCH_sweeps.json")
+    engine = SweepEngine(cache_dir=str(tmp_path / "cache"),
+                         bench_path=bench_path)
+    engine.run(cheap_sweep(2), workers=1)
+    engine.run(cheap_sweep(2), workers=1)
+    records = load_records(bench_path)
+    assert len(records) == 2
+    fresh, cached = records
+    assert fresh["sweep"] == "cheap"
+    assert fresh["points"] == 2 and fresh["simulated"] == 2
+    assert set(fresh["per_point_s"]) == {"p0", "p1"}
+    assert fresh["total_wall_s"] >= 0
+    assert "timestamp" in fresh
+    assert cached["cache_hits"] == 2 and cached["simulated"] == 0
+
+
+def test_invalid_worker_counts_rejected():
+    with pytest.raises(ValueError):
+        SweepEngine().run(cheap_sweep(1), workers=0)
+
+
+def test_default_workers_env(monkeypatch):
+    from repro.exp import default_workers
+
+    monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+    assert default_workers() == 1
+    monkeypatch.setenv("REPRO_SWEEP_WORKERS", "6")
+    assert default_workers() == 6
+    monkeypatch.setenv("REPRO_SWEEP_WORKERS", "zero")
+    with pytest.raises(ValueError):
+        default_workers()
+
+
+# ---------------------------------------------------------------------------
+# The acceptance-criterion test: a small Fig. 9(b)-style link-width sweep
+# must produce byte-identical JSON from serial and 4-worker parallel runs,
+# and a second invocation must be served from cache.
+# ---------------------------------------------------------------------------
+
+def small_fig9b_sweep():
+    """Fig. 9(b)'s link-width sweep at a test-size block (64 KB)."""
+    sweep = Sweep("fig9b_small")
+    for width in (1, 2, 4, 8):
+        sweep.add(f"x{width}", "repro.exp.points:dd_point",
+                  block_bytes=64 * 1024,
+                  root_link_width=width, device_link_width=width)
+    return sweep
+
+
+@pytest.mark.slow
+def test_serial_and_parallel_fig9b_byte_identical(tmp_path):
+    serial = SweepEngine(cache_dir=str(tmp_path / "serial-cache")).run(
+        small_fig9b_sweep(), workers=1)
+    parallel_engine = SweepEngine(cache_dir=str(tmp_path / "par-cache"))
+    parallel = parallel_engine.run(small_fig9b_sweep(), workers=4)
+
+    serial_bytes = json.dumps(serial.results, indent=2, sort_keys=True)
+    parallel_bytes = json.dumps(parallel.results, indent=2, sort_keys=True)
+    assert serial_bytes == parallel_bytes
+    assert serial.cache_hits == 0 and parallel.cache_hits == 0
+
+    # Second invocation: full cache hit, same bytes, and it says so.
+    again = parallel_engine.run(small_fig9b_sweep(), workers=4)
+    assert again.cache_hits == 4
+    assert "4 cached, 0 simulated" in again.summary()
+    assert json.dumps(again.results, indent=2, sort_keys=True) == serial_bytes
+
+    # The physics survived the plumbing: x2 clearly out-runs x1.
+    widths = serial.results
+    assert widths["x2"]["throughput_gbps"] > 1.3 * widths["x1"]["throughput_gbps"]

@@ -1,0 +1,45 @@
+"""Library point runners: JSON-safe param translation and metric shape."""
+
+import json
+
+import pytest
+
+from repro.exp.points import classic_pci_point, dd_point, mmio_point
+
+SMALL = 16 * 1024  # one-IO-sized block keeps these runs fast
+
+
+def test_dd_point_metric_shape_and_json_safety():
+    result = dd_point(SMALL)
+    assert set(result) == {"throughput_gbps", "transfer_gbps",
+                           "replay_fraction", "timeouts", "tlps_sent",
+                           "device_level_gbps"}
+    json.dumps(result)  # must round-trip for the cache
+    assert result["throughput_gbps"] > 0
+
+
+def test_dd_point_translates_gen_and_latency_names():
+    gen1 = dd_point(SMALL, gen="GEN1")
+    gen3 = dd_point(SMALL, gen="GEN3")
+    assert gen1["throughput_gbps"] < gen3["throughput_gbps"]
+    slow = dd_point(SMALL, switch_latency_ns=500)
+    fast = dd_point(SMALL, switch_latency_ns=0)
+    assert fast["throughput_gbps"] > slow["throughput_gbps"]
+
+
+def test_dd_point_rejects_unknown_generation():
+    with pytest.raises(KeyError):
+        dd_point(SMALL, gen="GEN99")
+
+
+def test_mmio_point_latency_tracks_rc_latency():
+    fast = mmio_point(50, iterations=5)
+    slow = mmio_point(150, iterations=5)
+    assert set(fast) == {"mmio_read_ns"}
+    assert slow["mmio_read_ns"] > fast["mmio_read_ns"]
+
+
+def test_classic_pci_point_reports_throughput():
+    result = classic_pci_point(SMALL)
+    assert set(result) == {"throughput_gbps"}
+    assert result["throughput_gbps"] > 0

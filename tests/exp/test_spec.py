@@ -1,0 +1,60 @@
+"""Sweep/SweepPoint declaration rules."""
+
+import pytest
+
+from repro.exp import Sweep, SweepPoint, resolve_runner, runner_path
+from tests.exp import runners
+
+
+def test_runner_path_roundtrip():
+    path = runner_path(runners.quadratic)
+    assert path == "tests.exp.runners:quadratic"
+    assert resolve_runner(path) is runners.quadratic
+
+
+def test_runner_path_rejects_lambdas_and_locals():
+    with pytest.raises(ValueError):
+        runner_path(lambda x: x)
+
+    def local_fn():
+        pass
+
+    with pytest.raises(ValueError):
+        runner_path(local_fn)
+
+
+def test_resolve_runner_rejects_malformed_and_missing():
+    with pytest.raises(ValueError):
+        resolve_runner("no-colon-here")
+    with pytest.raises(ValueError):
+        resolve_runner("tests.exp.runners:does_not_exist")
+
+
+def test_point_accepts_callable_or_path():
+    by_callable = SweepPoint("a", runners.quadratic, {"x": 2})
+    by_path = SweepPoint("a", "tests.exp.runners:quadratic", {"x": 2})
+    assert by_callable.runner == by_path.runner
+
+
+def test_point_params_must_be_json_safe():
+    import enum
+
+    class Colour(enum.Enum):
+        RED = 1
+
+    with pytest.raises(ValueError):
+        SweepPoint("a", runners.quadratic, {"colour": Colour.RED})
+    with pytest.raises(ValueError):
+        SweepPoint("a", runners.quadratic, {"x": float("nan")})
+    with pytest.raises(ValueError):
+        SweepPoint("a", runners.quadratic, {"nested": {1: "non-str key"}})
+
+
+def test_sweep_preserves_order_and_rejects_duplicates():
+    sweep = Sweep("s")
+    sweep.add("b", runners.quadratic, x=1)
+    sweep.add("a", runners.quadratic, x=2)
+    assert [p.key for p in sweep] == ["b", "a"]
+    assert len(sweep) == 2
+    with pytest.raises(ValueError):
+        sweep.add("a", runners.quadratic, x=3)

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Zero-dependency docstring-coverage checker (interrogate-compatible).
+
+CI enforces docstring coverage on the documented-surface paths with
+`interrogate --fail-under 80`; this stdlib-only equivalent lets the
+test suite (and offline checkouts, where interrogate may not be
+installed) enforce the same contract.  Counting rules mirror the
+repository's ``[tool.interrogate]`` configuration:
+
+* the module itself, public classes, and public functions/methods each
+  need a docstring;
+* names with a leading underscore (private, semiprivate, and dunders)
+  and functions nested inside other functions are exempt;
+* ``__init__`` methods are exempt (the class docstring covers them).
+
+Usage::
+
+    python tools/check_docstrings.py --fail-under 80 src/repro/exp ...
+
+Exits 0 when coverage meets the threshold, 1 otherwise, 2 on bad paths.
+"""
+
+import argparse
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+
+def iter_python_files(paths: List[str]) -> Iterator[str]:
+    """Yield .py files under each path (files are yielded as-is)."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(root, name)
+        else:
+            raise FileNotFoundError(path)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def audit_file(path: str) -> List[Tuple[str, bool]]:
+    """Return (qualified name, has_docstring) for each node that counts."""
+    with open(path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    found: List[Tuple[str, bool]] = []
+    module_name = os.path.basename(path)
+    found.append((f"{module_name} (module)", ast.get_docstring(tree) is not None))
+
+    def visit(node: ast.AST, prefix: str, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                if _is_public(child.name):
+                    found.append((f"{prefix}{child.name}",
+                                  ast.get_docstring(child) is not None))
+                visit(child, f"{prefix}{child.name}.", inside_function)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public(child.name) and not inside_function:
+                    found.append((f"{prefix}{child.name}",
+                                  ast.get_docstring(child) is not None))
+                visit(child, f"{prefix}{child.name}.", True)
+
+    visit(tree, "", False)
+    return found
+
+
+def main(argv=None) -> int:
+    """CLI entry point; see the module docstring."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+",
+                        help="files or directories to audit")
+    parser.add_argument("--fail-under", type=float, default=80.0,
+                        metavar="PCT", help="minimum coverage percent")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="list every undocumented node")
+    args = parser.parse_args(argv)
+
+    total = covered = 0
+    missing: List[str] = []
+    try:
+        for path in iter_python_files(args.paths):
+            for name, has_doc in audit_file(path):
+                total += 1
+                if has_doc:
+                    covered += 1
+                else:
+                    missing.append(f"{path}: {name}")
+    except FileNotFoundError as exc:
+        print(f"error: no such path: {exc}", file=sys.stderr)
+        return 2
+
+    pct = 100.0 * covered / total if total else 100.0
+    status = "PASSED" if pct >= args.fail_under else "FAILED"
+    if args.verbose and missing:
+        print("undocumented:")
+        for line in missing:
+            print(f"  {line}")
+    print(f"docstring coverage: {covered}/{total} = {pct:.1f}% "
+          f"(required: {args.fail_under:.1f}%) — {status}")
+    return 0 if pct >= args.fail_under else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
