@@ -85,17 +85,21 @@ def run_dd(block_bytes: int, startup_overhead: Optional[int] = None,
            chrome_trace_path: Optional[str] = None,
            stats_path: Optional[str] = None,
            trace_categories: Optional[Sequence[str]] = ("link", "engine"),
+           check: Optional[bool] = None,
            **system_kwargs) -> Dict[str, float]:
     """Build the validation system, run one dd block, return metrics.
 
     When ``trace_path`` / ``chrome_trace_path`` are given, the workload
     (not the boot) is traced and the JSONL / Chrome ``trace_event``
     artifact written there; ``stats_path`` additionally dumps the full
-    typed statistics document after the run.
+    typed statistics document after the run.  ``check`` arms the
+    runtime invariant checker (:mod:`repro.check`) for the whole run,
+    boot included; None defers to the ``REPRO_CHECK`` environment
+    variable.
     """
     kwargs = dict(config.SYSTEM_DEFAULTS)
     kwargs.update(system_kwargs)
-    system = build_validation_system(**kwargs)
+    system = build_validation_system(check=check, **kwargs)
     tracer = system.sim.tracer
     chrome_sink = None
     if trace_categories is not None:
@@ -196,6 +200,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(default: $REPRO_SWEEP_WORKERS or 1)")
     parser.add_argument("--fresh", action="store_true",
                         help="ignore the result cache and re-simulate")
+    parser.add_argument("--check", action="store_true",
+                        help="run every point with the runtime invariant "
+                             "checker armed (repro.check); checked runs "
+                             "cache separately from unchecked ones")
     parser.add_argument("--results-dir", default=None, metavar="DIR",
                         help=f"artifact directory (default: {RESULTS_DIR})")
     args = parser.parse_args(argv)
@@ -215,6 +223,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     sweep = builder()
+    if args.check:
+        # Every point runner accepts a ``check`` kwarg; adding it to the
+        # params changes the cache key, so checked results never shadow
+        # (or get served from) the unchecked cache entries.
+        for point in sweep.points:
+            point.params["check"] = True
     result = run_sweep(sweep, workers=args.workers,
                        cache=False if args.fresh else None,
                        results_dir=args.results_dir)

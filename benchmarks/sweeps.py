@@ -19,6 +19,7 @@ from repro.exp import Sweep
 DD = "repro.exp.points:dd_point"
 MMIO = "repro.exp.points:mmio_point"
 CLASSIC_PCI = "repro.exp.points:classic_pci_point"
+STRESS = "repro.exp.points:stress_point"
 
 #: Fig. 9(b) sweeps the paper's smallest and a mid-size block.
 FIG9B_BLOCKS = ("64MB", "256MB")
@@ -109,6 +110,43 @@ def ablations_sweep() -> Sweep:
     return sweep
 
 
+#: Stress-campaign grid (see stress_sweep): deliberately includes the
+#: degenerate single-entry replay buffer and input queue, where every
+#: recovery corner (source throttling + NAK + timeout) is exercised.
+STRESS_ERROR_RATES = (0.0, 0.02, 0.1)
+STRESS_DLLP_ERROR_RATES = (0.0, 0.1)
+STRESS_REPLAY_BUFFERS = (1, 2, 4)
+STRESS_INPUT_QUEUES = (1, 2)
+
+#: One small dd block per stress point keeps the 36-point grid cheap
+#: while still moving enough TLPs (~1k) to hit every recovery path.
+STRESS_BLOCK_BYTES = 64 * 1024
+
+
+def stress_sweep() -> Sweep:
+    """Fault-injection campaign: error rates × link-layer buffer sizes.
+
+    Every point runs ``dd`` under the runtime invariant checker in
+    record mode (``repro.exp.points:stress_point``); the campaign
+    passes when every configuration completes the transfer with zero
+    protocol-invariant violations.
+    """
+    sweep = Sweep("stress")
+    for er in STRESS_ERROR_RATES:
+        for dr in STRESS_DLLP_ERROR_RATES:
+            for rb in STRESS_REPLAY_BUFFERS:
+                for iq in STRESS_INPUT_QUEUES:
+                    params = dict(config.SYSTEM_DEFAULTS)
+                    sweep.add(
+                        f"er{er}/dllp{dr}/rb{rb}/iq{iq}", STRESS,
+                        block_bytes=STRESS_BLOCK_BYTES,
+                        error_rate=er, dllp_error_rate=dr,
+                        replay_buffer_size=rb, input_queue_size=iq,
+                        **params,
+                    )
+    return sweep
+
+
 def device_level_sweep() -> Sweep:
     """Section VI-B in-text: device-level sector throughput, Gen 2 x1."""
     sweep = Sweep("device_level")
@@ -125,4 +163,5 @@ SWEEPS = {
     "table2": table2_sweep,
     "ablations": ablations_sweep,
     "device_level": device_level_sweep,
+    "stress": stress_sweep,
 }

@@ -1,0 +1,335 @@
+"""The runtime invariant checker.
+
+Every :class:`~repro.sim.simobject.Simulator` owns one
+:class:`InvariantChecker`, created disabled.  Instrumented hot paths —
+the event-queue dispatch loop, the timing-port protocol, and the PCIe
+link layer — cache the checker reference at construction and guard
+each hook on ``if ck.enabled:``, exactly the zero-overhead-when-
+disabled pattern the tracer uses.  Enabling the checker (the ``check=``
+knob on ``Simulator``, the ``REPRO_CHECK`` environment variable, or
+``sim.checker.enable()``) turns those hooks into machine-checked
+protocol rules:
+
+* **Event queue** — dispatch ticks never move backwards
+  (``eventq.time_monotonic``).
+* **Timing ports** — while a port has a refusal outstanding it may only
+  re-send the refused packet, never a new one
+  (``port.req_while_retry_owed`` / ``port.resp_while_retry_owed``);
+  a retry is only issued when one is owed (``port.double_retry``);
+  and responses accepted across a port pair never exceed the
+  response-needing requests accepted across it
+  (``port.resp_conservation``).
+* **Link layer** — sending sequence numbers increase by exactly one per
+  new TLP (``link.send_seq``); deliveries bump the receiving sequence
+  number by exactly one (``link.recv_seq``); the replay buffer never
+  exceeds ``replay_buffer_size`` (``link.replay_buffer_overflow``);
+  an ACK/NAK never acknowledges a sequence number that was never sent
+  (``link.ack_unsent_seq``); a replay timeout always leaves the timer
+  armed while TLPs remain unacknowledged (``link.timeout_unarmed``).
+* **Quiescence** — when the event queue drains, every link interface
+  must be idle: a non-empty replay buffer with no scheduled replay
+  event is a deadlock (``link.replay_deadlock``), and stuck input or
+  DLLP queues are flagged too (``link.stuck_input_queue`` /
+  ``link.stuck_dllp_queue``).
+
+Violations are :class:`~repro.check.violation.InvariantViolation`
+instances carrying component path, tick, and the most recent trace
+events from :mod:`repro.obs` (the checker attaches a small ring sink to
+the simulator's tracer while enabled).  By default the first violation
+raises; ``record_only=True`` collects instead, for tests that assert on
+``checker.violations``.
+"""
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.check.violation import InvariantViolation
+
+__all__ = ["InvariantChecker"]
+
+
+class _RingSink:
+    """A bounded trace sink holding the most recent events for context.
+
+    Deliberately duck-typed rather than a
+    :class:`repro.obs.trace.TraceSink` subclass: ``repro.obs``'s package
+    init imports ``repro.sim``, which imports this module — subclassing
+    would close an import cycle.  The tracer only ever calls
+    ``record``/``close``.
+    """
+
+    def __init__(self, maxlen: int):
+        self.events: Deque[dict] = deque(maxlen=maxlen)
+
+    def record(self, event: dict) -> None:
+        """Append one event, evicting the oldest beyond ``maxlen``."""
+        self.events.append(event)
+
+    def close(self) -> None:
+        """Nothing to flush; the ring lives in memory."""
+
+
+class _PairLedger:
+    """Request/response accounting for one bound master/slave pair."""
+
+    __slots__ = ("reqs", "need_resp", "resps")
+
+    def __init__(self):
+        self.reqs = 0
+        self.need_resp = 0
+        self.resps = 0
+
+
+class _LinkLedger:
+    """Per-interface sequence-number bookkeeping."""
+
+    __slots__ = ("last_sent_seq", "last_delivered_seq")
+
+    def __init__(self):
+        self.last_sent_seq = -1
+        self.last_delivered_seq = -1
+
+
+class InvariantChecker:
+    """Pluggable runtime protocol-rule checker for one simulator.
+
+    Args:
+        sim: the owning :class:`~repro.sim.simobject.Simulator`.
+        context_events: size of the ring buffer of recent trace events
+            attached while the checker is enabled (0 disables context
+            capture).
+        record_only: when True, violations are appended to
+            :attr:`violations` instead of raised — the mode campaign
+            summaries and negative tests use.
+    """
+
+    def __init__(self, sim, context_events: int = 64,
+                 record_only: bool = False):
+        self.sim = sim
+        self.enabled = False
+        self.record_only = record_only
+        self.context_events = context_events
+        self.violations: List[InvariantViolation] = []
+        self._ring: Optional[_RingSink] = None
+        self._last_dispatch_tick = 0
+        # One ledger per bound master/slave pair, keyed by the master
+        # port; refused-packet records keyed by the re-sending port.
+        self._pairs: Dict[object, _PairLedger] = {}
+        self._pending_req: Dict[object, object] = {}
+        self._pending_resp: Dict[object, object] = {}
+        # Link interfaces register at construction for the quiescence
+        # watchdog and carry their sequence ledgers here.
+        self._link_ifaces: List[object] = []
+        self._links: Dict[object, _LinkLedger] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def enable(self) -> "InvariantChecker":
+        """Arm every hook; attach the context ring to the tracer."""
+        if self.enabled:
+            return self
+        self.enabled = True
+        if self.context_events and self._ring is None:
+            self._ring = _RingSink(self.context_events)
+            self.sim.tracer.attach(self._ring)
+        return self
+
+    def disable(self) -> "InvariantChecker":
+        """Disarm the hooks and detach the context ring."""
+        if not self.enabled:
+            return self
+        self.enabled = False
+        if self._ring is not None and self._ring in self.sim.tracer.sinks:
+            self.sim.tracer.detach(self._ring)
+        self._ring = None
+        return self
+
+    def recent_events(self) -> List[dict]:
+        """The captured trace context, oldest first (may be empty)."""
+        return list(self._ring.events) if self._ring is not None else []
+
+    def _violate(self, rule: str, component: str, detail: str) -> None:
+        """Record one violation; raise it unless in record-only mode."""
+        violation = InvariantViolation(
+            rule=rule, component=component, tick=self.sim.curtick,
+            detail=detail, context=self.recent_events(),
+        )
+        self.violations.append(violation)
+        if not self.record_only:
+            raise violation
+
+    # -- event queue -------------------------------------------------------
+    def on_dispatch(self, when: int, event) -> None:
+        """Called per dispatched event: ticks must never move backwards."""
+        if when < self._last_dispatch_tick:
+            self._violate(
+                "eventq.time_monotonic", self.sim.eventq.name,
+                f"event {event.name!r} dispatched at tick {when} after "
+                f"tick {self._last_dispatch_tick} had already fired",
+            )
+        self._last_dispatch_tick = when
+
+    # -- timing-port protocol ----------------------------------------------
+    def pre_send_req(self, master, pkt) -> None:
+        """Before a master sends: only the refused packet may be re-sent."""
+        pending = self._pending_req.get(master)
+        if pending is not None and pending is not pkt:
+            self._violate(
+                "port.req_while_retry_owed", master.full_name,
+                f"sent new request {pkt!r} while the peer still owes a "
+                f"retry for refused request {pending!r}",
+            )
+
+    def post_send_req(self, master, pkt, accepted: bool) -> None:
+        """After a master sent: track refusals and pair accounting."""
+        if accepted:
+            self._pending_req.pop(master, None)
+            ledger = self._pairs.get(master)
+            if ledger is None:
+                ledger = self._pairs[master] = _PairLedger()
+            ledger.reqs += 1
+            if pkt.needs_response:
+                ledger.need_resp += 1
+        else:
+            self._pending_req[master] = pkt
+
+    def pre_send_resp(self, slave, pkt) -> None:
+        """Before a slave responds: only the refused response re-sends."""
+        pending = self._pending_resp.get(slave)
+        if pending is not None and pending is not pkt:
+            self._violate(
+                "port.resp_while_retry_owed", slave.full_name,
+                f"sent new response {pkt!r} while the peer still owes a "
+                f"retry for refused response {pending!r}",
+            )
+
+    def post_send_resp(self, slave, pkt, accepted: bool) -> None:
+        """After a slave responded: refusal tracking + conservation."""
+        if accepted:
+            self._pending_resp.pop(slave, None)
+            ledger = self._pairs.get(slave.peer)
+            if ledger is None:
+                ledger = self._pairs[slave.peer] = _PairLedger()
+            ledger.resps += 1
+            if ledger.resps > ledger.need_resp:
+                self._violate(
+                    "port.resp_conservation", slave.full_name,
+                    f"accepted response #{ledger.resps} ({pkt!r}) exceeds "
+                    f"the {ledger.need_resp} response-needing requests "
+                    f"accepted across this port pair",
+                )
+        else:
+            self._pending_resp[slave] = pkt
+
+    def on_retry_req(self, slave) -> None:
+        """A slave issues a request retry: one must actually be owed."""
+        if not slave._req_retry_owed:
+            self._violate(
+                "port.double_retry", slave.full_name,
+                "issued a request retry when none was owed",
+            )
+        self._pending_req.pop(slave.peer, None)
+
+    def on_retry_resp(self, master) -> None:
+        """A master issues a response retry: one must actually be owed."""
+        if not master._resp_retry_owed:
+            self._violate(
+                "port.double_retry", master.full_name,
+                "issued a response retry when none was owed",
+            )
+        self._pending_resp.pop(master.peer, None)
+
+    # -- link layer --------------------------------------------------------
+    def register_link_interface(self, iface) -> None:
+        """Link interfaces self-register for the quiescence watchdog."""
+        self._link_ifaces.append(iface)
+
+    def _link_ledger(self, iface) -> _LinkLedger:
+        ledger = self._links.get(iface)
+        if ledger is None:
+            ledger = self._links[iface] = _LinkLedger()
+        return ledger
+
+    def link_tlp_queued(self, iface, ppkt) -> None:
+        """A new TLP entered the replay buffer: seq + occupancy rules."""
+        ledger = self._link_ledger(iface)
+        if ppkt.seq != ledger.last_sent_seq + 1:
+            self._violate(
+                "link.send_seq", iface.full_name,
+                f"new TLP carries seq {ppkt.seq}, expected "
+                f"{ledger.last_sent_seq + 1}",
+            )
+        ledger.last_sent_seq = ppkt.seq
+        if len(iface.replay_buffer) > iface.replay_buffer_size:
+            self._violate(
+                "link.replay_buffer_overflow", iface.full_name,
+                f"replay buffer holds {len(iface.replay_buffer)} TLPs, "
+                f"size is {iface.replay_buffer_size}",
+            )
+
+    def link_tlp_delivered(self, iface, ppkt) -> None:
+        """A TLP was delivered: receiving seq advances by exactly one."""
+        ledger = self._link_ledger(iface)
+        if ppkt.seq != ledger.last_delivered_seq + 1:
+            self._violate(
+                "link.recv_seq", iface.full_name,
+                f"delivered TLP carries seq {ppkt.seq}, expected "
+                f"{ledger.last_delivered_seq + 1}",
+            )
+        ledger.last_delivered_seq = ppkt.seq
+
+    def link_dllp_received(self, iface, ppkt) -> None:
+        """An ACK/NAK arrived: it may not acknowledge an unsent TLP."""
+        if ppkt.seq >= iface.send_seq:
+            self._violate(
+                "link.ack_unsent_seq", iface.full_name,
+                f"{ppkt.dllp_type.value.upper()} acknowledges seq "
+                f"{ppkt.seq} but only {iface.send_seq} TLPs were ever "
+                f"sent (highest seq {iface.send_seq - 1})",
+            )
+
+    def link_timeout(self, iface) -> None:
+        """After a replay timeout: the timer must stay armed while TLPs
+        remain unacknowledged, or the replay machinery can wedge."""
+        if iface.replay_buffer and not iface._replay_event.scheduled:
+            self._violate(
+                "link.timeout_unarmed", iface.full_name,
+                f"replay timeout left {len(iface.replay_buffer)} TLPs "
+                f"unacknowledged with no replay timer scheduled",
+            )
+
+    # -- quiescence watchdog ----------------------------------------------
+    def check_quiescence(self) -> None:
+        """The event queue drained: every link interface must be idle.
+
+        Called by :meth:`Simulator.run` when a run ends with an empty
+        queue.  A non-empty replay buffer at quiescence means no event
+        can ever drain it — the deadlock the watchdog exists to catch.
+        """
+        for iface in self._link_ifaces:
+            if iface.replay_buffer:
+                armed = iface._replay_event.scheduled
+                self._violate(
+                    "link.replay_deadlock", iface.full_name,
+                    f"event queue is empty but the replay buffer still "
+                    f"holds {len(iface.replay_buffer)} unacknowledged "
+                    f"TLP(s) (seqs "
+                    f"{[p.seq for p in iface.replay_buffer]}) and the "
+                    f"replay timer is {'armed' if armed else 'not armed'}",
+                )
+            if iface.input_queue:
+                self._violate(
+                    "link.stuck_input_queue", iface.full_name,
+                    f"event queue is empty but {len(iface.input_queue)} "
+                    f"TLP(s) from the component were never transmitted",
+                )
+            if iface.dllp_queue:
+                self._violate(
+                    "link.stuck_dllp_queue", iface.full_name,
+                    f"event queue is empty but {len(iface.dllp_queue)} "
+                    f"ACK/NAK DLLP(s) were never transmitted",
+                )
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return (f"<InvariantChecker {state} "
+                f"violations={len(self.violations)}>")

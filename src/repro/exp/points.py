@@ -26,7 +26,7 @@ from repro.system.topology import (
 from repro.workloads.dd import DdWorkload
 from repro.workloads.mmio import MmioReadBench
 
-__all__ = ["dd_point", "mmio_point", "classic_pci_point"]
+__all__ = ["dd_point", "mmio_point", "classic_pci_point", "stress_point"]
 
 #: Guard against wedged simulations when a point runs unattended in a
 #: worker process; matches the benchmark harness's historical bound.
@@ -65,7 +65,8 @@ def dd_point(block_bytes: int, startup_overhead: int = 0,
             default.
         **system_kwargs: further JSON-safe keyword arguments passed to
             :func:`repro.system.topology.build_validation_system`
-            (``root_link_width``, ``replay_buffer_size``, ...).
+            (``root_link_width``, ``replay_buffer_size``, ``check``,
+            ...).
 
     Returns:
         Flat metrics dict: dd-level and transfer-level throughput,
@@ -122,14 +123,15 @@ def mmio_point(rc_latency_ns: int, iterations: int = 50,
     return {"mmio_read_ns": bench.mean_latency_ns}
 
 
-def classic_pci_point(block_bytes: int,
-                      startup_overhead: int = 0) -> Dict[str, float]:
+def classic_pci_point(block_bytes: int, startup_overhead: int = 0,
+                      check: bool = False) -> Dict[str, float]:
     """Run one ``dd`` transfer on the classic shared-PCI-bus baseline.
 
     Used by the PCI-vs-PCIe ablation; returns only dd-level throughput
-    because the classic bus has no link layer to report on.
+    because the classic bus has no link layer to report on.  ``check``
+    arms the runtime invariant checker (``--check`` in the harness).
     """
-    system = build_classic_pci_system()
+    system = build_classic_pci_system(check=check)
     dd = DdWorkload(system.kernel, system.disk_driver, block_bytes,
                     startup_overhead=startup_overhead)
     process = system.kernel.spawn("dd", dd.run())
@@ -137,3 +139,61 @@ def classic_pci_point(block_bytes: int,
     if not process.done:
         raise RuntimeError("dd did not finish — simulation wedged?")
     return {"throughput_gbps": dd.result.throughput_gbps}
+
+
+def stress_point(block_bytes: int, error_rate: float,
+                 dllp_error_rate: float, replay_buffer_size: int,
+                 input_queue_size: int, error_seed: int = 0x5EED,
+                 check: bool = True,
+                 **system_kwargs: Any) -> Dict[str, float]:
+    """One point of the fault-injection stress campaign.
+
+    Builds the validation topology with deterministic error injection
+    on both links, arms the invariant checker in *record* mode, runs a
+    single ``dd`` transfer, and reports whether the transfer completed
+    and how many protocol invariants were violated along the way.  A
+    healthy link layer completes every configuration in the campaign
+    grid with ``violations == 0`` — that pair of assertions is the
+    campaign's entire point.
+
+    Args:
+        block_bytes: bytes moved by the single ``dd`` block (the
+            campaign uses a small block so the whole grid stays cheap).
+        error_rate: fraction of received TLPs corrupted (NAK path).
+        dllp_error_rate: fraction of received ACK/NAK DLLPs corrupted
+            (silently discarded; recovery via replay timeout).
+        replay_buffer_size: unacknowledged-TLP bound per interface.
+        input_queue_size: component-facing input buffer per interface.
+        error_seed: base seed of the per-interface corruption RNGs.
+        check: arm the checker (kept as a knob so ``--check`` composes).
+        **system_kwargs: further JSON-safe topology kwargs.
+
+    Returns:
+        ``completed``/``violations`` plus link-recovery metrics
+        (replay fraction, timeouts, corruption counts).
+    """
+    system = build_validation_system(
+        error_rate=error_rate, dllp_error_rate=dllp_error_rate,
+        replay_buffer_size=replay_buffer_size,
+        input_queue_size=input_queue_size, error_seed=error_seed,
+        check=check, **system_kwargs,
+    )
+    # Record-only: a campaign point reports every violation it saw
+    # rather than dying on the first, so one sweep run characterises
+    # the whole grid.
+    system.sim.checker.record_only = True
+    dd = DdWorkload(system.kernel, system.disk_driver, block_bytes)
+    process = system.kernel.spawn("dd", dd.run())
+    system.run(max_events=_MAX_EVENTS)
+    stats = link_replay_stats(system.disk_link)
+    ifaces = [system.disk_link.upstream_if, system.disk_link.downstream_if]
+    return {
+        "completed": 1.0 if process.done else 0.0,
+        "violations": float(len(system.sim.checker.violations)),
+        "violated_rules": sorted({v.rule for v in system.sim.checker.violations}),
+        "throughput_gbps": dd.result.throughput_gbps if process.done else 0.0,
+        "replay_fraction": stats["replay_fraction"],
+        "timeouts": stats["timeouts"],
+        "tlps_corrupted": sum(i.corrupted.value() for i in ifaces),
+        "dllps_corrupted": sum(i.dllp_corrupted.value() for i in ifaces),
+    }

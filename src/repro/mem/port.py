@@ -41,6 +41,10 @@ class Port:
         self.owner = owner
         self.name = name
         self.peer: Optional["Port"] = None
+        # Cached like SimObject.tracer: one attribute load and an
+        # ``enabled`` branch is all the protocol hot path pays while the
+        # invariant checker is off.
+        self.checker = owner.sim.checker
 
     @property
     def full_name(self) -> str:
@@ -105,10 +109,15 @@ class MasterPort(Port):
             raise PortError(f"{self.full_name} is unbound")
         if not pkt.is_request:
             raise PortError(f"{self.full_name} asked to send non-request {pkt!r}")
+        ck = self.checker
+        if ck.enabled:
+            ck.pre_send_req(self, pkt)
         accepted = self.peer.recv_timing_req(pkt)
         if not accepted:
             self.waiting_for_req_retry = True
             self.peer._req_retry_owed = True
+        if ck.enabled:
+            ck.post_send_req(self, pkt, accepted)
         return accepted
 
     # -- response-side flow control -------------------------------------------
@@ -122,10 +131,20 @@ class MasterPort(Port):
         """Tell the peer slave to retry a previously-refused response."""
         if self.peer is None:
             raise PortError(f"{self.full_name} is unbound")
+        ck = self.checker
+        if ck.enabled:
+            ck.on_retry_resp(self)
         if not self._resp_retry_owed:
             raise PortError(f"{self.full_name} owes no response retry")
         self._resp_retry_owed = False
         self.peer.recv_resp_retry()
+
+    @property
+    def resp_retry_owed(self) -> bool:
+        """True while this port owes its peer a response retry — the
+        public mirror of :attr:`SlavePort.retry_owed` for the response
+        direction, so owners never reach into ``_resp_retry_owed``."""
+        return self._resp_retry_owed
 
 
 class SlavePort(Port):
@@ -178,9 +197,14 @@ class SlavePort(Port):
             raise PortError(f"{self.full_name} is unbound")
         if not pkt.is_response:
             raise PortError(f"{self.full_name} asked to send non-response {pkt!r}")
+        ck = self.checker
+        if ck.enabled:
+            ck.pre_send_resp(self, pkt)
         accepted = self.peer._handle_resp(pkt)
         if not accepted:
             self.waiting_for_resp_retry = True
+        if ck.enabled:
+            ck.post_send_resp(self, pkt, accepted)
         return accepted
 
     # -- request-side flow control --------------------------------------------
@@ -188,6 +212,9 @@ class SlavePort(Port):
         """Tell the peer master to retry a previously-refused request."""
         if self.peer is None:
             raise PortError(f"{self.full_name} is unbound")
+        ck = self.checker
+        if ck.enabled:
+            ck.on_retry_req(self)
         if not self._req_retry_owed:
             raise PortError(f"{self.full_name} owes no request retry")
         self._req_retry_owed = False

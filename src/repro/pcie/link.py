@@ -159,12 +159,23 @@ class PcieLinkInterface(SimObject):
         self.dllp_corrupted = s.scalar(
             "dllp_corrupted", "ACK/NAK DLLPs hit by injected errors (discarded)"
         )
+
+        def _replay_fraction() -> float:
+            # An idle interface has sent nothing: its replay fraction is
+            # 0.0, not a ZeroDivisionError at stats-dump time.
+            total = self.tlps_sent.value() + self.tlp_replays.value()
+            return self.tlp_replays.value() / total if total else 0.0
+
         s.formula(
             "replay_fraction",
-            lambda: self.tlp_replays.value()
-            / (self.tlps_sent.value() + self.tlp_replays.value()),
+            _replay_fraction,
             "fraction of TLP transmissions that were replays",
         )
+
+        # Protocol-invariant hooks (repro.check): the checker is cached
+        # by SimObject.__init__; registration feeds the quiescence
+        # watchdog that flags undrained replay buffers as deadlocks.
+        self.checker.register_link_interface(self)
 
     # -- convenience -----------------------------------------------------------
     @property
@@ -241,6 +252,9 @@ class PcieLinkInterface(SimObject):
             self.send_seq += 1
             self.replay_buffer.append(ppkt)
             self.tlps_sent.inc()
+            ck = self.checker
+            if ck.enabled:
+                ck.link_tlp_queued(self, ppkt)
             self._issue_component_retries()
             return ppkt
         return None
@@ -251,7 +265,7 @@ class PcieLinkInterface(SimObject):
             return
         if self.slave_port.retry_owed:
             self.slave_port.send_retry_req()
-        if self.master_port._resp_retry_owed:
+        if self.master_port.resp_retry_owed:
             self.master_port.send_retry_resp()
 
     def link_free(self) -> None:
@@ -270,6 +284,9 @@ class PcieLinkInterface(SimObject):
         self.retransmit_queue.extend(self.replay_buffer)
         if self.replay_buffer:
             self.sim.schedule_after(self._replay_event, self.replay_timeout)
+        ck = self.checker
+        if ck.enabled:
+            ck.link_timeout(self)
         self._kick_tx()
 
     def _reset_replay_timer(self) -> None:
@@ -300,6 +317,9 @@ class PcieLinkInterface(SimObject):
         if trc.enabled:
             trc.emit(self.curtick, "link", self.full_name, "dllp_rx",
                      kind=ppkt.dllp_type.value, seq=ppkt.seq)
+        ck = self.checker
+        if ck.enabled:
+            ck.link_dllp_received(self, ppkt)
         if ppkt.dllp_type is DllpType.ACK:
             self.acks_received.inc()
             self._purge_acknowledged(ppkt.seq)
@@ -316,6 +336,25 @@ class PcieLinkInterface(SimObject):
         while self.replay_buffer and self.replay_buffer[0].seq <= seq:
             self.replay_buffer.popleft()
 
+    def _queue_dllp(self, ppkt: PciePacket) -> None:
+        """Enqueue an ACK/NAK, coalescing with a pending DLLP of the
+        same type.
+
+        ACKs and NAKs are cumulative — acknowledging sequence ``n``
+        subsumes every earlier one — so a pending same-type DLLP is
+        updated to the highest sequence number instead of queueing a
+        second entry.  Without this, sustained TLP corruption (every
+        received TLP NAKed while the transmitter is busy) grows
+        ``dllp_queue`` without bound; with it the queue never holds more
+        than one ACK and one NAK.
+        """
+        for pending in self.dllp_queue:
+            if pending.dllp_type is ppkt.dllp_type:
+                if ppkt.seq > pending.seq:
+                    pending.seq = ppkt.seq
+                return
+        self.dllp_queue.append(ppkt)
+
     def _receive_tlp(self, ppkt: PciePacket) -> None:
         trc = self.tracer
         if self.link_parent.error_rate and self._rng.random() < self.link_parent.error_rate:
@@ -324,7 +363,7 @@ class PcieLinkInterface(SimObject):
             if trc.enabled:
                 trc.emit(self.curtick, "link", self.full_name, "tlp_corrupt",
                          tlp=trc.tlp_id(ppkt.tlp.req_id), seq=ppkt.seq)
-            self.dllp_queue.append(PciePacket.nak(self.recv_seq - 1))
+            self._queue_dllp(PciePacket.nak(self.recv_seq - 1))
             self._kick_tx()
             return
         if ppkt.seq != self.recv_seq:
@@ -352,6 +391,9 @@ class PcieLinkInterface(SimObject):
             trc.emit(self.curtick, "link", self.full_name, "tlp_deliver",
                      tlp=trc.tlp_id(ppkt.tlp.req_id), seq=ppkt.seq,
                      resp=ppkt.tlp.is_response)
+        ck = self.checker
+        if ck.enabled:
+            ck.link_tlp_delivered(self, ppkt)
         self.recv_seq += 1
         self._schedule_ack()
 
@@ -363,7 +405,7 @@ class PcieLinkInterface(SimObject):
     # -- ACK scheduling ---------------------------------------------------------
     def _schedule_ack(self) -> None:
         if self.link_parent.ack_policy == "immediate":
-            self.dllp_queue.append(PciePacket.ack(self.recv_seq - 1))
+            self._queue_dllp(PciePacket.ack(self.recv_seq - 1))
             self._kick_tx()
             return
         self._have_unacked_delivery = True
@@ -374,7 +416,7 @@ class PcieLinkInterface(SimObject):
         if not self._have_unacked_delivery:
             return
         self._have_unacked_delivery = False
-        self.dllp_queue.append(PciePacket.ack(self.recv_seq - 1))
+        self._queue_dllp(PciePacket.ack(self.recv_seq - 1))
         self._kick_tx()
 
 

@@ -94,6 +94,8 @@ class EventQueue:
         self.name = name
         # Set by the owning Simulator; a bare EventQueue is untraced.
         self.tracer = None
+        # Set by the owning Simulator; a bare EventQueue is unchecked.
+        self.checker = None
         self.curtick: int = 0
         self._heap: List[Tuple[int, int, int, Event]] = []
         self._counter = itertools.count()
@@ -175,6 +177,9 @@ class EventQueue:
         if trc is not None and trc.enabled:
             trc.emit(when, "eventq", self.name, "dispatch",
                      name=event.name, pri=event.priority)
+        ck = self.checker
+        if ck is not None and ck.enabled:
+            ck.on_dispatch(when, event)
         event.process()
         return True
 
@@ -207,6 +212,7 @@ class EventQueue:
         heap = self._heap
         pop = heapq.heappop
         trc = self.tracer
+        ck = self.checker
         until_t = float("inf") if until is None else until
         remaining = -1 if max_events is None else max_events
         serviced = 0
@@ -230,6 +236,8 @@ class EventQueue:
                 if trc is not None and trc.enabled:
                     trc.emit(when, "eventq", self.name, "dispatch",
                              name=event.name, pri=event.priority)
+                if ck is not None and ck.enabled:
+                    ck.on_dispatch(when, event)
                 event.process()
         finally:
             self.events_processed += serviced

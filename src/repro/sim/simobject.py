@@ -7,31 +7,60 @@ closely enough that the paper's component descriptions translate
 one-to-one.
 """
 
+import os
 from typing import Callable, Dict, List, Optional
 
+from repro.check.checker import InvariantChecker
 from repro.obs.trace import Tracer
 from repro.sim.eventq import CallbackEvent, Event, EventQueue
 from repro.sim.stats import StatGroup
 
+#: Environment variable consulted when ``Simulator(check=None)``: set to
+#: ``on``/``1``/``true``/``yes`` to enable invariant checking process-wide
+#: (how CI runs the tier-1 suite under the checker).
+CHECK_ENV = "REPRO_CHECK"
+
+
+def _check_default() -> bool:
+    """Whether :data:`CHECK_ENV` asks for checking to default on."""
+    return os.environ.get(CHECK_ENV, "").strip().lower() in (
+        "on", "1", "true", "yes")
+
 
 class Simulator:
-    """Owns the event queue, the root of the statistics tree, and the
-    tracer.
+    """Owns the event queue, the root of the statistics tree, the
+    tracer, and the invariant checker.
 
     Every :class:`SimObject` is constructed with a reference to a
     Simulator, keeping time and statistics explicit rather than global
     (the library never uses module-level simulation state, so several
     simulations can coexist in one Python process — the benchmark
     harness relies on this).
+
+    Args:
+        name: root name for the event queue and statistics tree.
+        tracer: a pre-built tracer to use instead of a fresh disabled
+            one (tests inject pre-filtered tracers this way).
+        check: enable the runtime invariant checker
+            (:mod:`repro.check`); None consults the ``REPRO_CHECK``
+            environment variable (default off).
     """
 
-    def __init__(self, name: str = "sim", tracer: Optional[Tracer] = None):
+    def __init__(self, name: str = "sim", tracer: Optional[Tracer] = None,
+                 check: Optional[bool] = None):
         self.name = name
         # The tracer is created disabled; attaching a sink enables it.
         # Components cache the reference, so it is never replaced.
         self.tracer = tracer if tracer is not None else Tracer()
         self.eventq = EventQueue(f"{name}.eventq")
         self.eventq.tracer = self.tracer
+        # The checker mirrors the tracer's lifecycle: always present,
+        # created disabled, cached by components — so the hot paths pay
+        # one attribute load and branch while it is off.
+        self.checker = InvariantChecker(self)
+        self.eventq.checker = self.checker
+        if _check_default() if check is None else check:
+            self.checker.enable()
         self.stats = StatGroup()
         self._objects: List["SimObject"] = []
         self._exit_callbacks: List[Callable[[], None]] = []
@@ -57,8 +86,17 @@ class Simulator:
         return self.eventq.schedule_callback(delay, callback, name)
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Run the simulation; see :meth:`EventQueue.run`."""
-        return self.eventq.run(until=until, max_events=max_events)
+        """Run the simulation; see :meth:`EventQueue.run`.
+
+        When the invariant checker is enabled and the run ends with the
+        event queue fully drained, the quiescence watchdog fires: a
+        non-empty replay buffer with no event left to drain it is
+        reported as a deadlock rather than silently swallowed.
+        """
+        tick = self.eventq.run(until=until, max_events=max_events)
+        if self.checker.enabled and self.eventq.empty():
+            self.checker.check_quiescence()
+        return tick
 
     def stop(self) -> None:
         """Ask a run in progress to stop after the current event."""
@@ -108,6 +146,7 @@ class SimObject:
         self.sim = sim
         self.name = name
         self.tracer = sim.tracer
+        self.checker = sim.checker
         self.parent = parent
         self.children: List["SimObject"] = []
         if parent is not None:

@@ -173,18 +173,26 @@ def build_validation_system(
     ack_policy: str = "immediate",
     error_rate: float = 0.0,
     dllp_error_rate: float = 0.0,
+    input_queue_size: int = 2,
+    error_seed: int = 0x5EED,
     posted_writes: bool = False,
     disk_access_latency: int = ticks.from_us(1),
     enable_msi: bool = False,
     kernel_config: Optional[KernelConfig] = None,
+    check: Optional[bool] = None,
 ) -> PcieSystem:
     """The paper's validation topology (Section VI-A).
 
     "We instantiate a PCI-Express switch, connect it to a root complex
     root port with a Gen 2 x4 link and attach the IDE disk to one of
     the switch downstream ports using a Gen 2 x1 link."
+
+    ``input_queue_size`` and ``error_seed`` feed both links (the
+    fault-injection stress campaign sweeps them); ``check`` arms the
+    runtime invariant checker on the freshly built simulator (ignored
+    when an existing ``sim`` is supplied).
     """
-    sim = sim or Simulator()
+    sim = sim or Simulator(check=check)
     system = _build_core(sim, addrmap, kernel_config)
 
     root_complex = RootComplex(
@@ -207,6 +215,7 @@ def build_validation_system(
         sim, "root_link", gen=gen, width=root_link_width,
         replay_buffer_size=replay_buffer_size, ack_policy=ack_policy,
         error_rate=error_rate, dllp_error_rate=dllp_error_rate,
+        input_queue_size=input_queue_size, error_seed=error_seed,
     )
     _connect_link(root_link, root_complex.root_ports[0], switch=switch)
     system.links["root"] = root_link
@@ -220,6 +229,7 @@ def build_validation_system(
         sim, "disk_link", gen=gen, width=device_link_width,
         replay_buffer_size=replay_buffer_size, ack_policy=ack_policy,
         error_rate=error_rate, dllp_error_rate=dllp_error_rate,
+        input_queue_size=input_queue_size, error_seed=error_seed,
     )
     _connect_link(disk_link, switch.downstream_ports[0], device=disk)
     system.links["disk"] = disk_link
@@ -247,10 +257,11 @@ def build_nic_system(
     ack_policy: str = "immediate",
     enable_msi: bool = False,
     kernel_config: Optional[KernelConfig] = None,
+    check: Optional[bool] = None,
 ) -> PcieSystem:
     """The Table II topology: a NIC directly on a root port, with the
     root-complex latency swept."""
-    sim = sim or Simulator()
+    sim = sim or Simulator(check=check)
     system = _build_core(sim, addrmap, kernel_config)
 
     root_complex = RootComplex(
@@ -352,6 +363,7 @@ def build_classic_pci_system(
     clock_mhz: int = 33,
     disk_access_latency: int = ticks.from_us(1),
     kernel_config: Optional[KernelConfig] = None,
+    check: Optional[bool] = None,
 ) -> PcieSystem:
     """The pre-PCI-Express baseline: the same IDE-like disk on a classic
     shared PCI bus (Section II-A) instead of the PCI-Express fabric.
@@ -364,7 +376,7 @@ def build_classic_pci_system(
     from repro.mem.bridge import Bridge
     from repro.pci.bus import PciBus
 
-    sim = sim or Simulator()
+    sim = sim or Simulator(check=check)
     system = _build_core(sim, addrmap, kernel_config)
 
     bus = PciBus(sim, clock_mhz=clock_mhz)

@@ -1,0 +1,36 @@
+"""Regression tests for link statistics export on idle interfaces.
+
+``replay_fraction`` divides replays by total transmissions; an
+interface that never transmitted used to raise ``ZeroDivisionError``
+inside the formula at stats-dump time.  It must report 0.0.
+"""
+
+import json
+
+from repro.obs import export_stats, write_stats_json
+from repro.sim.simobject import Simulator
+
+from tests.pcie.test_link import build_dma_path
+
+
+def test_idle_link_dumps_zero_replay_fraction():
+    sim = Simulator()
+    link, device, memory = build_dma_path(sim)
+    # No traffic at all: every interface has tlps_sent == replays == 0.
+    stats = sim.dump_stats()
+    fractions = {k: v for k, v in stats.items()
+                 if k.endswith("replay_fraction")}
+    assert len(fractions) == 2  # one per interface
+    assert all(v == 0.0 for v in fractions.values())
+
+
+def test_idle_link_stats_export_roundtrips(tmp_path):
+    sim = Simulator()
+    link, device, memory = build_dma_path(sim)
+    doc = export_stats(sim, meta={"workload": "idle"})
+    path = write_stats_json(sim, str(tmp_path / "idle_stats.json"))
+    on_disk = json.loads(open(path).read())
+    assert on_disk["stats"] == doc["stats"]
+    fractions = [v for k, v in on_disk["stats"].items()
+                 if k.endswith("replay_fraction")]
+    assert fractions and all(f["value"] == 0.0 for f in fractions)

@@ -11,6 +11,7 @@ import sys
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SCOPED_PATHS = [
+    os.path.join(REPO_ROOT, "src", "repro", "check"),
     os.path.join(REPO_ROOT, "src", "repro", "exp"),
     os.path.join(REPO_ROOT, "src", "repro", "sim"),
     os.path.join(REPO_ROOT, "benchmarks", "harness.py"),

@@ -1,0 +1,43 @@
+"""Gate on a persisted stress-campaign result document.
+
+Usage::
+
+    python tools/check_stress_results.py benchmarks/results/stress_sweep.json
+
+Exits non-zero (listing the offending configurations) unless every
+point in the document completed its transfer with zero protocol
+invariant violations — the stress campaign's pass criterion, kept in a
+script so the CI job and local runs share one definition of "pass".
+"""
+
+import json
+import sys
+
+
+def main(argv=None):
+    """Validate one stress_sweep.json; return a process exit status."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if len(argv) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[0]) as fh:
+        doc = json.load(fh)
+    bad = {
+        key: {"completed": row["completed"], "violations": row["violations"],
+              "violated_rules": row.get("violated_rules", [])}
+        for key, row in doc.items()
+        if row["completed"] != 1.0 or row["violations"] != 0.0
+    }
+    if bad:
+        print(f"stress campaign FAILED for {len(bad)}/{len(doc)} "
+              f"configurations:")
+        for key, row in sorted(bad.items()):
+            print(f"  {key}: {row}")
+        return 1
+    print(f"stress campaign passed: {len(doc)} configurations completed "
+          f"with zero invariant violations")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
