@@ -86,7 +86,7 @@ class SimpleMemory(SimObject):
         if not pkt.needs_response:
             return True
         self._in_flight += 1
-        now = self.curtick
+        now = self.eventq.curtick
         start = max(now, self._next_free)
         service = self._serialization(pkt)
         self._next_free = start + service

@@ -119,7 +119,7 @@ class IOCache(SimObject):
     def _trace_access(self, pkt: Packet, ev: str) -> None:
         trc = self.tracer
         if trc.enabled:
-            trc.emit(self.curtick, "cache", self.full_name, ev,
+            trc.emit(self.eventq.curtick, "cache", self.full_name, ev,
                      tlp=trc.tlp_id(pkt.req_id),
                      inflight=len(self._outstanding))
 
@@ -209,7 +209,7 @@ class IOCache(SimObject):
             self.line_size,
             data=bytes(self.line_size),
             requestor=self.full_name,
-            create_tick=self.curtick,
+            create_tick=self.eventq.curtick,
         )
         self._writebacks_in_flight += 1
         self.writebacks.inc()

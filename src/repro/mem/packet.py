@@ -32,44 +32,28 @@ class MemCmd(enum.Enum):
 
     @property
     def is_request(self) -> bool:
-        return self in _REQUESTS or self is MemCmd.MESSAGE
+        return self._is_request
 
     @property
     def is_response(self) -> bool:
-        return self in _RESPONSES
+        return self._is_response
 
     @property
     def is_read(self) -> bool:
-        return self in (
-            MemCmd.READ_REQ,
-            MemCmd.READ_RESP,
-            MemCmd.CONFIG_READ_REQ,
-            MemCmd.CONFIG_READ_RESP,
-        )
+        return self._is_read
 
     @property
     def is_write(self) -> bool:
-        return self in (
-            MemCmd.WRITE_REQ,
-            MemCmd.WRITE_RESP,
-            MemCmd.CONFIG_WRITE_REQ,
-            MemCmd.CONFIG_WRITE_RESP,
-            MemCmd.MESSAGE,
-        )
+        return self._is_write
 
     @property
     def is_config(self) -> bool:
-        return self in (
-            MemCmd.CONFIG_READ_REQ,
-            MemCmd.CONFIG_READ_RESP,
-            MemCmd.CONFIG_WRITE_REQ,
-            MemCmd.CONFIG_WRITE_RESP,
-        )
+        return self._is_config
 
     @property
     def needs_response(self) -> bool:
         """True for non-posted requests."""
-        return self in _REQUESTS
+        return self._needs_response
 
     @property
     def response_command(self) -> "MemCmd":
@@ -87,6 +71,43 @@ _RESPONSE_FOR = {
 }
 _REQUESTS = frozenset(_RESPONSE_FOR)
 _RESPONSES = frozenset(_RESPONSE_FOR.values())
+
+# Stamp plain per-member booleans once at import.  The command
+# classification runs per packet on the link/crossbar hot paths, and
+# ``self in frozenset`` hashes the enum on every call — hundreds of
+# thousands of times per run in the benchmark profiles.
+for _cmd in MemCmd:
+    _cmd._is_request = _cmd in _REQUESTS or _cmd is MemCmd.MESSAGE
+    _cmd._is_response = _cmd in _RESPONSES
+    _cmd._is_read = _cmd in (
+        MemCmd.READ_REQ,
+        MemCmd.READ_RESP,
+        MemCmd.CONFIG_READ_REQ,
+        MemCmd.CONFIG_READ_RESP,
+    )
+    _cmd._is_write = _cmd in (
+        MemCmd.WRITE_REQ,
+        MemCmd.WRITE_RESP,
+        MemCmd.CONFIG_WRITE_REQ,
+        MemCmd.CONFIG_WRITE_RESP,
+        MemCmd.MESSAGE,
+    )
+    _cmd._is_config = _cmd in (
+        MemCmd.CONFIG_READ_REQ,
+        MemCmd.CONFIG_READ_RESP,
+        MemCmd.CONFIG_WRITE_REQ,
+        MemCmd.CONFIG_WRITE_RESP,
+    )
+    _cmd._needs_response = _cmd in _REQUESTS
+    # Commands that carry ``size`` payload bytes on the wire.
+    _cmd._carries_payload = _cmd in (
+        MemCmd.WRITE_REQ,
+        MemCmd.READ_RESP,
+        MemCmd.MESSAGE,
+        MemCmd.CONFIG_WRITE_REQ,
+        MemCmd.CONFIG_READ_RESP,
+    )
+del _cmd
 
 _packet_ids = itertools.count()
 
@@ -112,6 +133,14 @@ class Packet:
         posted: when True the request expects no response (the paper's
             model does *not* post writes; the flag exists for the
             posted-write ablation and MSI messages).
+        is_request / is_response / is_read / is_write / needs_response:
+            command-classification flags, stamped once at construction
+            (``cmd`` never changes afterwards) so the per-hop checks on
+            the link and crossbar paths are plain slot reads.
+        payload_size: bytes of payload this packet carries on a wire.
+            Per the paper: "The maximum TLP payload size is 0 for a read
+            request or a write response and is cache line size for a
+            write request or read response."
     """
 
     __slots__ = (
@@ -125,6 +154,16 @@ class Packet:
         "posted",
         "create_tick",
         "_annotations",
+        # Command/flow flags, stamped once in __init__.  ``cmd`` (and
+        # ``posted``, which is derived from it) never changes after
+        # construction, and plain slot reads keep the per-hop
+        # classification checks off the enum-hashing path.
+        "is_request",
+        "is_response",
+        "is_read",
+        "is_write",
+        "needs_response",
+        "payload_size",
     )
 
     def __init__(
@@ -152,6 +191,12 @@ class Packet:
         self.pci_bus_num = -1
         self.posted = cmd is MemCmd.MESSAGE
         self.create_tick = create_tick
+        self.is_request = cmd._is_request
+        self.is_response = cmd._is_response
+        self.is_read = cmd._is_read
+        self.is_write = cmd._is_write
+        self.needs_response = cmd._needs_response and not self.posted
+        self.payload_size = size if cmd._carries_payload else 0
         # Free-form per-component scratch space (e.g. measured
         # latencies).  Allocated lazily: most TLPs are never annotated,
         # and the per-packet empty dict was measurable churn in the
@@ -166,40 +211,6 @@ class Packet:
         if ann is None:
             ann = self._annotations = {}
         return ann
-
-    @property
-    def is_request(self) -> bool:
-        return self.cmd.is_request
-
-    @property
-    def is_response(self) -> bool:
-        return self.cmd.is_response
-
-    @property
-    def is_read(self) -> bool:
-        return self.cmd.is_read
-
-    @property
-    def is_write(self) -> bool:
-        return self.cmd.is_write
-
-    @property
-    def needs_response(self) -> bool:
-        return self.cmd.needs_response and not self.posted
-
-    @property
-    def payload_size(self) -> int:
-        """Bytes of payload this packet carries on a wire.
-
-        Per the paper: "The maximum TLP payload size is 0 for a read
-        request or a write response and is cache line size for a write
-        request or read response."
-        """
-        if self.cmd in (MemCmd.WRITE_REQ, MemCmd.READ_RESP, MemCmd.MESSAGE):
-            return self.size
-        if self.cmd in (MemCmd.CONFIG_WRITE_REQ, MemCmd.CONFIG_READ_RESP):
-            return self.size
-        return 0
 
     def make_response(self, data: Optional[bytes] = None) -> "Packet":
         """Build the matching response packet (same id, same bus number)."""

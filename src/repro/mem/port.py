@@ -26,6 +26,7 @@ from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.mem.addr import AddrRange
 from repro.mem.packet import Packet
+from repro.sim.eventq import Event
 from repro.sim.simobject import SimObject
 from repro.sim.stats import StatGroup
 
@@ -226,6 +227,26 @@ class SlavePort(Port):
         return self._req_retry_owed
 
 
+class _DrainEvent(Event):
+    """Recycled drain trigger for one :class:`PacketQueue`.
+
+    The queue's ``_drain_scheduled`` flag guarantees at most one
+    outstanding drain, so a single recycled instance per queue replaces
+    the per-drain callback event the queue used to allocate — this is
+    the single hottest event in the crossbar/DRAM/bridge/iocache paths.
+    """
+
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: "PacketQueue"):
+        super().__init__(name=f"{queue.name}.drain")
+        self.queue = queue
+
+    def process(self) -> None:
+        """Run the owning queue's drain loop."""
+        self.queue._drain()
+
+
 class PacketQueue:
     """A bounded FIFO that drains packets into a send function.
 
@@ -253,9 +274,11 @@ class PacketQueue:
         self.name = name
         self.send_fn = send_fn
         self.capacity = capacity
+        self.eventq = owner.eventq
         self._entries: Deque[Tuple[int, Packet]] = deque()
         self._waiting_retry = False
         self._drain_scheduled = False
+        self._drain_event = _DrainEvent(self)
         self.on_space_freed: Optional[Callable[[], None]] = None
         # Per-packet variant of on_space_freed, called with the packet
         # that just left the queue (for owners tracking slot accounting
@@ -287,7 +310,7 @@ class PacketQueue:
             self.refused.inc()
             return False
         self.occupancy.sample(len(self._entries))
-        ready = self.owner.curtick + delay
+        ready = self.eventq.curtick + delay
         self._entries.append((ready, pkt))
         self._schedule_drain()
         return True
@@ -300,16 +323,17 @@ class PacketQueue:
     def _schedule_drain(self) -> None:
         if self._drain_scheduled or self._waiting_retry or not self._entries:
             return
-        ready, __ = self._entries[0]
-        delay = max(0, ready - self.owner.curtick)
+        eventq = self.eventq
+        ready = self._entries[0][0]
+        now = eventq.curtick
         self._drain_scheduled = True
-        self.owner.schedule(delay, self._drain, name=f"{self.name}.drain")
+        eventq.schedule(self._drain_event, ready if ready > now else now)
 
     def _drain(self) -> None:
         self._drain_scheduled = False
         while self._entries and not self._waiting_retry:
             ready, pkt = self._entries[0]
-            if ready > self.owner.curtick:
+            if ready > self.eventq.curtick:
                 self._schedule_drain()
                 return
             if not self.send_fn(pkt):

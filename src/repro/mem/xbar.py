@@ -126,7 +126,7 @@ class NoncoherentXBar(SimObject):
         if queue.full:
             self.retries.inc()
             return False
-        now = self.curtick
+        now = self.eventq.curtick
         start = max(now, self._req_layer_free[dest])
         occupancy = self._occupancy(pkt)
         self._req_layer_free[dest] = start + occupancy
@@ -155,7 +155,7 @@ class NoncoherentXBar(SimObject):
             self.retries.inc()
             return False
         del self._resp_route[pkt.req_id]
-        now = self.curtick
+        now = self.eventq.curtick
         start = max(now, self._resp_layer_free[dest])
         occupancy = self._occupancy(pkt)
         self._resp_layer_free[dest] = start + occupancy

@@ -53,8 +53,63 @@ from repro.pcie.timing import (
     replay_timeout_ticks,
 )
 from repro.sim import ticks
-from repro.sim.eventq import CallbackEvent
+from repro.sim.eventq import CallbackEvent, Event
 from repro.sim.simobject import SimObject, Simulator
+
+
+class _TxDoneEvent(Event):
+    """Recycled end-of-serialization event: frees the link for the next
+    pcie-pkt.
+
+    One instance per :class:`UnidirectionalLink` suffices — the ``busy``
+    flag guarantees a single transmission in flight, and the event has
+    always fired (clearing ``busy``) before the next ``send`` can
+    reschedule it.  The sender travels as a mutable slot instead of a
+    per-packet closure.
+    """
+
+    __slots__ = ("link", "sender")
+
+    def __init__(self, link: "UnidirectionalLink"):
+        super().__init__(name="tx_done")
+        self.link = link
+        self.sender: Optional["PcieLinkInterface"] = None
+
+    def process(self) -> None:
+        """Clear the busy flag, then let the sender pick its next pkt."""
+        sender = self.sender
+        self.sender = None
+        self.link.busy = False
+        sender.link_free()
+
+
+class _DeliverEvent(Event):
+    """Recycled wire-delivery event: hands a pcie-pkt to the receiver.
+
+    Deliveries outlive ``tx_done`` by the propagation delay, so several
+    can be in flight per link; a small pool on the link recycles them.
+    The event returns itself to the pool *before* invoking the receiver
+    — per the recycling contract a fired event is immediately reusable,
+    and a reentrant ``send`` triggered by the delivery then reuses this
+    instance instead of growing the pool.
+    """
+
+    __slots__ = ("link", "receiver", "ppkt")
+
+    def __init__(self, link: "UnidirectionalLink"):
+        super().__init__(name="deliver")
+        self.link = link
+        self.receiver: Optional["PcieLinkInterface"] = None
+        self.ppkt: Optional[PciePacket] = None
+
+    def process(self) -> None:
+        """Recycle into the link's pool, then deliver the payload."""
+        receiver = self.receiver
+        ppkt = self.ppkt
+        self.receiver = None
+        self.ppkt = None
+        self.link._deliver_pool.append(self)
+        receiver.receive_from_link(ppkt)
 
 
 class UnidirectionalLink(SimObject):
@@ -72,6 +127,8 @@ class UnidirectionalLink(SimObject):
         self.timing = timing
         self.propagation_delay = propagation_delay
         self.busy = False
+        self._tx_done_event = _TxDoneEvent(self)
+        self._deliver_pool: list = []
         self.packets = self.stats.scalar("packets", "pcie-pkts transmitted")
         self.bytes = self.stats.scalar("bytes", "wire bytes transmitted")
         self.busy_ticks = self.stats.scalar("busy_ticks", "ticks spent transmitting")
@@ -86,16 +143,19 @@ class UnidirectionalLink(SimObject):
         self.packets.inc()
         self.bytes.inc(wire)
         self.busy_ticks.inc(tx_time)
-        self.schedule(tx_time, lambda: self._transmit_done(sender), name="tx_done")
-        self.schedule(
-            tx_time + self.propagation_delay,
-            lambda: receiver.receive_from_link(ppkt),
-            name="deliver",
-        )
-
-    def _transmit_done(self, sender: "PcieLinkInterface") -> None:
-        self.busy = False
-        sender.link_free()
+        # tx_done must be scheduled before the delivery so their
+        # insertion sequence (and thus dispatch order at equal ticks)
+        # matches the historical per-packet-callback code exactly.
+        eventq = self.eventq
+        now = eventq.curtick
+        tx_done = self._tx_done_event
+        tx_done.sender = sender
+        eventq.schedule(tx_done, now + tx_time)
+        pool = self._deliver_pool
+        deliver = pool.pop() if pool else _DeliverEvent(self)
+        deliver.receiver = receiver
+        deliver.ppkt = ppkt
+        eventq.schedule(deliver, now + tx_time + self.propagation_delay)
 
 
 class PcieLinkInterface(SimObject):
@@ -229,7 +289,7 @@ class PcieLinkInterface(SimObject):
                          kind=ppkt.dllp_type.value, seq=ppkt.seq)
         self.tx_link.send(ppkt, self, self.peer)
         if ppkt.is_tlp and not self._replay_event.scheduled:
-            self.sim.schedule_after(self._replay_event, self.replay_timeout)
+            self.eventq.schedule_after(self._replay_event, self.replay_timeout)
 
     def _pick_next(self) -> Optional[PciePacket]:
         """Select the next pcie-pkt per the paper's priority order."""
@@ -283,7 +343,7 @@ class PcieLinkInterface(SimObject):
         self.retransmit_queue.clear()
         self.retransmit_queue.extend(self.replay_buffer)
         if self.replay_buffer:
-            self.sim.schedule_after(self._replay_event, self.replay_timeout)
+            self.eventq.schedule_after(self._replay_event, self.replay_timeout)
         ck = self.checker
         if ck.enabled:
             ck.link_timeout(self)
@@ -291,9 +351,9 @@ class PcieLinkInterface(SimObject):
 
     def _reset_replay_timer(self) -> None:
         if self._replay_event.scheduled:
-            self.sim.eventq.deschedule(self._replay_event)
+            self.eventq.deschedule(self._replay_event)
         if self.replay_buffer:
-            self.sim.schedule_after(self._replay_event, self.replay_timeout)
+            self.eventq.schedule_after(self._replay_event, self.replay_timeout)
 
     # ===================== RX: link -> component =========================
     def receive_from_link(self, ppkt: PciePacket) -> None:
@@ -410,7 +470,7 @@ class PcieLinkInterface(SimObject):
             return
         self._have_unacked_delivery = True
         if not self._ack_event.scheduled:
-            self.sim.schedule_after(self._ack_event, self.ack_period)
+            self.eventq.schedule_after(self._ack_event, self.ack_period)
 
     def _ack_timer_fired(self) -> None:
         if not self._have_unacked_delivery:

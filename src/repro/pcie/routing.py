@@ -41,7 +41,36 @@ from repro.mem.packet import Packet
 from repro.mem.port import MasterPort, PacketQueue, PortError, SlavePort
 from repro.pcie.vp2p import VirtualP2PBridge
 from repro.sim import ticks
+from repro.sim.eventq import Event
 from repro.sim.simobject import SimObject, Simulator
+
+
+class _ProcessedEvent(Event):
+    """Recycled ingress-processing-done event for one ComponentPort.
+
+    Up to ``buffer_size`` packets can be in the port's datapath at
+    once, so the port keeps a pool; a fired event recycles itself into
+    it before routing the packet onward (the recycling contract makes
+    it immediately reusable), keeping the pool at the high-water mark
+    of in-flight processings instead of one allocation per packet.
+    """
+
+    __slots__ = ("port", "pkt", "is_response")
+
+    def __init__(self, port: "ComponentPort"):
+        super().__init__(name="processed")
+        self.port = port
+        self.pkt: Optional[Packet] = None
+        self.is_response = False
+
+    def process(self) -> None:
+        """Recycle into the port's pool, then route the packet on."""
+        port = self.port
+        pkt = self.pkt
+        is_response = self.is_response
+        self.pkt = None
+        port._processed_pool.append(self)
+        port.engine._move(pkt, src=port, is_response=is_response)
 
 
 class ComponentPort(SimObject):
@@ -94,6 +123,8 @@ class ComponentPort(SimObject):
         # The pool: packets resident in the engine that entered here.
         self._req_slots = 0
         self._resp_slots = 0
+        # Recycled ingress-processing events (see _ProcessedEvent).
+        self._processed_pool: List[_ProcessedEvent] = []
         # Per-port datapath serialization horizon (used when the engine
         # runs with datapath_scope="port").
         self._proc_next_free = 0
@@ -156,7 +187,7 @@ class ComponentPort(SimObject):
         self.engine._register_owner(pkt, is_response, self)
         if not is_response and pkt.pci_bus_num == -1:
             pkt.pci_bus_num = self.stamp_bus_number()
-        now = self.curtick
+        now = self.eventq.curtick
         # The internal datapath admits one packet per service interval.
         # With datapath_scope="port" each port has its own pipeline;
         # with "engine" a single store-and-forward engine is shared by
@@ -168,12 +199,11 @@ class ComponentPort(SimObject):
         else:
             start = max(now, self._proc_next_free)
             self._proc_next_free = start + self.engine.service_interval
-        delay = (start - now) + self.engine.latency
-        self.schedule(
-            delay,
-            lambda: self.engine._move(pkt, src=self, is_response=is_response),
-            name="processed",
-        )
+        pool = self._processed_pool
+        event = pool.pop() if pool else _ProcessedEvent(self)
+        event.pkt = pkt
+        event.is_response = is_response
+        self.eventq.schedule(event, start + self.engine.latency)
         return True
 
     def stamp_bus_number(self) -> int:
@@ -290,7 +320,7 @@ class PcieRoutingEngine(SimObject):
         owner._release(is_response)
         trc = self.tracer
         if trc.enabled:
-            trc.emit(self.sim.curtick, "engine", owner.full_name, "egress",
+            trc.emit(self.eventq.curtick, "engine", owner.full_name, "egress",
                      tlp=trc.tlp_id(pkt.req_id), resp=is_response,
                      pool=owner.pool_used)
 

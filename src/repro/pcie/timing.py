@@ -141,6 +141,12 @@ class LinkTiming:
             raise ValueError(f"invalid link width x{width} (valid: {VALID_WIDTHS})")
         self.gen = gen
         self.width = width
+        # transmission_ticks runs once per pcie-pkt and its exact
+        # Fraction arithmetic is measurably hot; a run only ever sees a
+        # handful of distinct wire sizes, so memoise per wire_bytes and
+        # compute the symbol time once.
+        self._symbol_time = gen.symbol_time_exact
+        self._tx_ticks_cache: dict = {}
 
     def transmission_ticks(self, wire_bytes: int) -> int:
         """Ticks a packet of ``wire_bytes`` occupies the link.
@@ -148,8 +154,13 @@ class LinkTiming:
         Bytes are striped across the lanes, so the occupancy is
         ``ceil(bytes / width)`` symbol times.
         """
+        cached = self._tx_ticks_cache.get(wire_bytes)
+        if cached is not None:
+            return cached
         symbols = -(-wire_bytes // self.width)
-        return max(1, math.ceil(symbols * self.gen.symbol_time_exact))
+        result = max(1, math.ceil(symbols * self._symbol_time))
+        self._tx_ticks_cache[wire_bytes] = result
+        return result
 
     def tlp_wire_bytes(self, payload: int) -> int:
         return payload + TLP_OVERHEAD_BYTES

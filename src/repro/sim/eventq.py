@@ -4,10 +4,20 @@ Events are scheduled at an absolute tick and fire in (tick, priority,
 insertion-order) order, mirroring gem5's deterministic event queue.  An
 :class:`Event` subclass overrides :meth:`Event.process`;
 :class:`CallbackEvent` wraps a plain callable for one-off work.
+
+:class:`EventQueue` is a hybrid scheduler: a calendar-queue-style ring
+of near-term buckets absorbs the short, periodic delays that dominate
+PCIe simulation (flit times, ACK timers, crossbar/DRAM latencies),
+while a binary heap holds the far future (replay timeouts, dd's
+startup overhead).  Dispatch order is byte-identical to a pure heap —
+``(tick, priority, insertion-seq)`` with lazy squashing — which
+:class:`ReferenceEventQueue` preserves as the executable specification
+the property tests compare against.
 """
 
 import heapq
 import itertools
+from bisect import bisect_right
 from typing import Callable, List, Optional, Tuple
 
 
@@ -18,6 +28,14 @@ class Event:
     scheduled at most once at a time; it can be rescheduled after it has
     fired or been descheduled.  Priorities follow gem5's convention:
     lower numeric priority fires first within a tick.
+
+    Hot-path components keep a small pool of recycled Event subclasses
+    with mutable payload slots instead of allocating a closure-wrapped
+    :class:`CallbackEvent` per packet.  The recycling contract: an event
+    may be reused as soon as ``scheduled`` is False — i.e. after it has
+    fired or been descheduled — because squashing clears the queue
+    entry's event slot, so a recycled event can never fire a stale
+    payload even when rescheduled at the same tick.
     """
 
     # Common gem5-style priorities.  Most events use DEFAULT_PRI; the
@@ -38,7 +56,7 @@ class Event:
         self.priority = priority
         self.name = name or type(self).__name__
         self._when: Optional[int] = None
-        # The live heap entry for this event; squashing an entry is done
+        # The live queue entry for this event; squashing an entry is done
         # by clearing its event slot so a stale entry can never fire even
         # if the event is immediately rescheduled.
         self._entry: Optional[list] = None
@@ -88,21 +106,75 @@ class EventQueue:
     The queue tracks the current simulated time (:attr:`curtick`).  Time
     only advances by servicing events; :meth:`run` drains the queue until
     it is empty, a tick limit is reached, or :meth:`stop` is called.
+
+    Internally this is a three-tier hybrid (dispatch order is exactly
+    that of a single heap — see :class:`ReferenceEventQueue`):
+
+    * ``_active`` — the sorted batch currently being drained, with
+      ``_active_pos`` marking the next entry to fire.  Late schedules
+      that land below ``_wheel_tick`` are insorted here (clamped to
+      ``_active_pos`` so they can't be placed behind already-dispatched
+      entries).
+    * ``_buckets`` — a ring of ``num_buckets`` buckets, each spanning
+      ``2**bucket_bits`` ticks, covering the window
+      ``[_wheel_tick, _wheel_tick + span)``.  Appending is O(1); a
+      bucket is sorted only when its turn comes to become the active
+      batch.  The defaults (64 buckets × ~1.05 µs ≈ 67 µs of window)
+      keep every periodic link-layer delay — flit times through the
+      ~0.8 µs replay timeout — within one or two buckets of *now*, so
+      bursts coalesce into sizeable batches.
+    * ``_heap`` — everything at or beyond the window.  Invariant: the
+      heap minimum is always >= ``_wheel_tick``, maintained by
+      migrating entries below the next bucket boundary whenever a
+      bucket is activated.  When the wheel is empty the window jumps
+      straight to the heap minimum's bucket instead of stepping.
+
+    Squashed entries (lazy :meth:`deschedule`) are counted globally and
+    compacted out of all three tiers once they outnumber live events,
+    so replay/ACK-timer churn can no longer bloat the queue.  ``_live``
+    maintains O(1) :meth:`__len__` / :meth:`empty`.
     """
 
-    def __init__(self, name: str = "eventq"):
+    #: Compaction is skipped below this many squashed entries — tiny
+    #: queues aren't worth rebuilding even when mostly dead.
+    COMPACT_MIN_SQUASHED = 64
+
+    def __init__(self, name: str = "eventq", bucket_bits: int = 20,
+                 num_buckets: int = 64):
         self.name = name
         # Set by the owning Simulator; a bare EventQueue is untraced.
         self.tracer = None
         # Set by the owning Simulator; a bare EventQueue is unchecked.
         self.checker = None
         self.curtick: int = 0
-        self._heap: List[Tuple[int, int, int, Event]] = []
         self._counter = itertools.count()
         self._stop_requested = False
         # Number of events processed since construction; handy both for
         # statistics and for runaway-simulation guards in tests.
         self.events_processed: int = 0
+        if num_buckets & (num_buckets - 1):
+            raise ValueError(f"num_buckets must be a power of two, "
+                             f"got {num_buckets}")
+        self._shift = bucket_bits
+        self._mask = num_buckets - 1
+        self._span = num_buckets << bucket_bits
+        #: Lower edge of the next bucket to activate; every wheel entry
+        #: has ``_wheel_tick <= when < _wheel_tick + _span``.
+        self._wheel_tick = 0
+        self._buckets: List[list] = [[] for _ in range(num_buckets)]
+        #: Bit i set ⇔ ``_buckets[i]`` is non-empty; lets the refill
+        #: path jump over runs of empty buckets in O(1) instead of
+        #: stepping them, which matters for sparse timelines.
+        self._occupied = 0
+        self._heap: List[Tuple[int, int, int, Event]] = []
+        #: Sorted batch being drained; entries before _active_pos have
+        #: fired or were squashed.
+        self._active: List[list] = []
+        self._active_pos = 0
+        #: Live (scheduled, non-squashed) events across all tiers.
+        self._live = 0
+        #: Squashed entries still physically present across all tiers.
+        self._squashed = 0
 
     # -- scheduling --------------------------------------------------------
     def schedule(self, event: Event, when: int) -> Event:
@@ -112,12 +184,30 @@ class EventQueue:
                 f"cannot schedule {event!r} at {when} in the past "
                 f"(curtick={self.curtick})"
             )
-        if event.scheduled:
+        if event._entry is not None:
             raise RuntimeError(f"{event!r} is already scheduled")
         event._when = when
         entry = [when, event.priority, next(self._counter), event]
         event._entry = entry
-        heapq.heappush(self._heap, entry)
+        self._live += 1
+        offset = when - self._wheel_tick
+        if offset < 0:
+            # The window has already moved past this tick: the entry
+            # belongs in the batch being drained.  Clamping the insort
+            # position to _active_pos keeps it ahead of (dead) already-
+            # consumed entries while preserving sorted order among the
+            # live remainder — every live entry at >= _active_pos sorts
+            # after it whenever bisect lands below the clamp.
+            active = self._active
+            ip = bisect_right(active, entry)
+            pos = self._active_pos
+            active.insert(ip if ip > pos else pos, entry)
+        elif offset < self._span:
+            idx = (when >> self._shift) & self._mask
+            self._buckets[idx].append(entry)
+            self._occupied |= 1 << idx
+        else:
+            heapq.heappush(self._heap, entry)
         return event
 
     def schedule_after(self, event: Event, delay: int) -> Event:
@@ -134,44 +224,162 @@ class EventQueue:
 
     def deschedule(self, event: Event) -> None:
         """Remove a scheduled event (lazily: its entry is squashed)."""
-        if not event.scheduled:
+        entry = event._entry
+        if entry is None:
             raise RuntimeError(f"{event!r} is not scheduled")
-        assert event._entry is not None
-        event._entry[3] = None
+        entry[3] = None
         event._entry = None
         event._when = None
+        self._live -= 1
+        self._squashed += 1
+        # Replay/ACK-timer churn deschedules far more than it fires;
+        # once dead entries outnumber live ones, rebuild every tier.
+        if (self._squashed > self.COMPACT_MIN_SQUASHED
+                and self._squashed > self._live):
+            self._compact()
 
     def reschedule(self, event: Event, when: int) -> Event:
         """Move an event to a new tick, scheduling it if it was idle."""
-        if event.scheduled:
+        if event._entry is not None:
             self.deschedule(event)
         return self.schedule(event, when)
+
+    # -- internals ---------------------------------------------------------
+    def _compact(self) -> None:
+        """Physically drop every squashed entry from all three tiers."""
+        heap = [e for e in self._heap if e[3] is not None]
+        heapq.heapify(heap)
+        self._heap = heap
+        occupied = 0
+        buckets = self._buckets
+        for i, bucket in enumerate(buckets):
+            if bucket:
+                buckets[i] = [e for e in bucket if e[3] is not None]
+                if buckets[i]:
+                    occupied |= 1 << i
+        self._occupied = occupied
+        # The consumed prefix of the active batch goes too; callers in
+        # the drain loop re-read _active/_active_pos after any model
+        # code runs, so swapping the list out from under them is safe.
+        self._active = [e for e in self._active[self._active_pos:]
+                        if e[3] is not None]
+        self._active_pos = 0
+        self._squashed = 0
+
+    def _refill_active(self) -> bool:
+        """Activate the next non-empty slice of time as the drain batch.
+
+        Returns False when no live events remain anywhere.  Advances
+        ``_wheel_tick`` bucket by bucket, migrating heap entries that
+        have come inside each new boundary (preserving the heap-min >=
+        ``_wheel_tick`` invariant), and jumping the window straight to
+        the heap minimum whenever the wheel is empty.
+        """
+        shift = self._shift
+        width = 1 << shift
+        mask = self._mask
+        ring = mask + 1
+        full = (1 << ring) - 1
+        while True:
+            heap = self._heap
+            while heap and heap[0][3] is None:
+                heapq.heappop(heap)
+                self._squashed -= 1
+            occ = self._occupied
+            if not occ:
+                if not heap:
+                    self._active = []
+                    self._active_pos = 0
+                    return False
+                # Wheel empty: jump the window straight to the heap
+                # minimum's bucket instead of stepping towards it.
+                wtick = (heap[0][0] >> shift) << shift
+            else:
+                # Jump to the first non-empty bucket in time order.
+                # Rotating the occupancy mask so the current window
+                # start is bit 0 turns "next bucket in time" into
+                # "lowest set bit" — O(1) instead of stepping empties.
+                i = (self._wheel_tick >> shift) & mask
+                rot = ((occ >> i) | (occ << (ring - i))) & full
+                wtick = self._wheel_tick + (((rot & -rot).bit_length() - 1)
+                                            << shift)
+                if heap:
+                    # ...unless a heap entry has come inside the window
+                    # before that bucket's slice of time.
+                    htick = (heap[0][0] >> shift) << shift
+                    if htick < wtick:
+                        wtick = htick
+            boundary = wtick + width
+            idx = (wtick >> shift) & mask
+            batch = self._buckets[idx]
+            if batch:
+                # Hand the bucket list itself over as the drain batch —
+                # squashed entries are NOT filtered here; the drain
+                # loops skip them (and settle the _squashed count) far
+                # more cheaply than a copy per activation would.
+                self._buckets[idx] = []
+                self._occupied &= ~(1 << idx)
+            else:
+                # The bucket is empty, but heap migration below may
+                # populate the batch.  It MUST NOT alias the ring slot:
+                # a shared list would leave consumed entries in the
+                # bucket and let a later schedule() for this slot's
+                # next lap append a far-future entry straight into the
+                # batch being drained — unsorted, firing ~one window
+                # early.
+                batch = []
+            while heap and heap[0][0] < boundary:
+                batch.append(heapq.heappop(heap))
+            self._wheel_tick = boundary
+            if batch:
+                if len(batch) > 1:
+                    batch.sort()
+                self._active = batch
+                self._active_pos = 0
+                return True
+
+    def _peek(self) -> Optional[list]:
+        """The next live entry, left unconsumed; None when drained."""
+        active = self._active
+        pos = self._active_pos
+        while True:
+            n = len(active)
+            while pos < n:
+                entry = active[pos]
+                if entry[3] is not None:
+                    self._active_pos = pos
+                    return entry
+                pos += 1
+                self._squashed -= 1
+            self._active_pos = pos
+            if not self._refill_active():
+                return None
+            active = self._active
+            pos = 0
 
     # -- execution ---------------------------------------------------------
     def empty(self) -> bool:
         """True if no live (non-squashed) events remain."""
-        self._drop_squashed_head()
-        return not self._heap
-
-    def _drop_squashed_head(self) -> None:
-        while self._heap and self._heap[0][3] is None:
-            heapq.heappop(self._heap)
+        return self._live == 0
 
     def next_tick(self) -> Optional[int]:
         """Tick of the next live event, or None if the queue is empty."""
-        self._drop_squashed_head()
-        return self._heap[0][0] if self._heap else None
+        entry = self._peek()
+        return entry[0] if entry is not None else None
 
     def service_one(self) -> bool:
         """Pop and process the next live event.  Returns False when empty."""
-        self._drop_squashed_head()
-        if not self._heap:
+        entry = self._peek()
+        if entry is None:
             return False
-        when, __, __, event = heapq.heappop(self._heap)
-        assert event is not None
+        self._active_pos += 1
+        when = entry[0]
+        event = entry[3]
+        entry[3] = None
         self.curtick = when
         event._when = None
         event._entry = None
+        self._live -= 1
         self.events_processed += 1
         trc = self.tracer
         if trc is not None and trc.enabled:
@@ -199,20 +407,179 @@ class EventQueue:
         self._stop_requested = False
         # The drain below is service_one() inlined: this loop runs tens
         # of millions of iterations per benchmark, and the two extra
-        # function calls per event (next_tick + service_one, each
-        # re-dropping squashed heads) cost more than everything else in
-        # the queue machinery.  Keep the two code paths in sync.
+        # function calls per event (next_tick + service_one) cost more
+        # than everything else in the queue machinery.  Keep the two
+        # code paths in sync.
         #
-        # Per-iteration costs are shaved further by folding the two
-        # optional limits into always-comparable locals (None → +inf /
-        # a countdown that never reaches zero), hoisting the tracer
-        # reference (the Simulator never replaces it — only its
-        # `enabled` flag flips), and batching the events_processed
-        # attribute store into a local counter flushed on exit.
-        heap = self._heap
-        pop = heapq.heappop
+        # Per-iteration costs are shaved by folding the two optional
+        # limits into always-comparable locals (None → +inf / a
+        # countdown that never reaches zero), hoisting the tracer and
+        # checker references (the Simulator never replaces them — only
+        # their `enabled` flags flip), and batching the
+        # events_processed attribute store into a local counter flushed
+        # on exit.
+        #
+        # The locals (active, pos, n) mirror (_active, _active_pos,
+        # len) and MUST be re-read after event.process(): a deschedule
+        # inside model code can trigger _compact(), which replaces the
+        # active list, and a late schedule can insert into it.
         trc = self.tracer
         ck = self.checker
+        refill = self._refill_active
+        until_t = float("inf") if until is None else until
+        remaining = -1 if max_events is None else max_events
+        serviced = 0
+        active = self._active
+        pos = self._active_pos
+        n = len(active)
+        try:
+            while not self._stop_requested:
+                if pos < n:
+                    entry = active[pos]
+                    event = entry[3]
+                    if event is None:
+                        pos += 1
+                        self._squashed -= 1
+                        continue
+                else:
+                    self._active_pos = pos
+                    if not refill():
+                        active = self._active
+                        pos = 0
+                        n = 0
+                        break
+                    active = self._active
+                    pos = 0
+                    n = len(active)
+                    continue
+                when = entry[0]
+                if when > until_t:
+                    self.curtick = until
+                    break
+                if remaining == serviced:
+                    break
+                pos += 1
+                self._active_pos = pos
+                entry[3] = None
+                self.curtick = when
+                event._when = None
+                event._entry = None
+                self._live -= 1
+                serviced += 1
+                if trc is not None and trc.enabled:
+                    trc.emit(when, "eventq", self.name, "dispatch",
+                             name=event.name, pri=event.priority)
+                if ck is not None and ck.enabled:
+                    ck.on_dispatch(when, event)
+                event.process()
+                active = self._active
+                pos = self._active_pos
+                n = len(active)
+        finally:
+            self._active_pos = pos
+            self.events_processed += serviced
+        return self.curtick
+
+    def stop(self) -> None:
+        """Ask a :meth:`run` in progress to stop after the current event."""
+        self._stop_requested = True
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __repr__(self) -> str:
+        return f"<EventQueue {self.name!r} tick={self.curtick} pending={len(self)}>"
+
+
+class ReferenceEventQueue:
+    """The original pure-binary-heap event queue, kept as a reference.
+
+    This is the executable specification of dispatch order — ``(tick,
+    priority, insertion-seq)`` with lazy squashing — that the hybrid
+    :class:`EventQueue` must match entry for entry.  The property tests
+    in ``tests/sim/test_eventq_hybrid.py`` drive both implementations
+    with identical randomized schedule/deschedule/reschedule workloads
+    and assert the dispatch sequences are identical.  Not used by the
+    simulator itself.
+    """
+
+    def __init__(self, name: str = "eventq"):
+        self.name = name
+        self.tracer = None
+        self.checker = None
+        self.curtick: int = 0
+        self._heap: List[Tuple[int, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._stop_requested = False
+        self.events_processed: int = 0
+
+    def schedule(self, event: Event, when: int) -> Event:
+        """Schedule ``event`` to fire at absolute tick ``when``."""
+        if when < self.curtick:
+            raise ValueError(
+                f"cannot schedule {event!r} at {when} in the past "
+                f"(curtick={self.curtick})"
+            )
+        if event.scheduled:
+            raise RuntimeError(f"{event!r} is already scheduled")
+        event._when = when
+        entry = [when, event.priority, next(self._counter), event]
+        event._entry = entry
+        heapq.heappush(self._heap, entry)
+        return event
+
+    def schedule_after(self, event: Event, delay: int) -> Event:
+        """Schedule ``event`` to fire ``delay`` ticks from now."""
+        return self.schedule(event, self.curtick + delay)
+
+    def deschedule(self, event: Event) -> None:
+        """Remove a scheduled event (lazily: its entry is squashed)."""
+        if not event.scheduled:
+            raise RuntimeError(f"{event!r} is not scheduled")
+        event._entry[3] = None
+        event._entry = None
+        event._when = None
+
+    def reschedule(self, event: Event, when: int) -> Event:
+        """Move an event to a new tick, scheduling it if it was idle."""
+        if event.scheduled:
+            self.deschedule(event)
+        return self.schedule(event, when)
+
+    def empty(self) -> bool:
+        """True if no live (non-squashed) events remain."""
+        self._drop_squashed_head()
+        return not self._heap
+
+    def _drop_squashed_head(self) -> None:
+        while self._heap and self._heap[0][3] is None:
+            heapq.heappop(self._heap)
+
+    def next_tick(self) -> Optional[int]:
+        """Tick of the next live event, or None if the queue is empty."""
+        self._drop_squashed_head()
+        return self._heap[0][0] if self._heap else None
+
+    def service_one(self) -> bool:
+        """Pop and process the next live event.  Returns False when empty."""
+        self._drop_squashed_head()
+        if not self._heap:
+            return False
+        when, __, __, event = heapq.heappop(self._heap)
+        assert event is not None
+        self.curtick = when
+        event._when = None
+        event._entry = None
+        self.events_processed += 1
+        event.process()
+        return True
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Service events until the queue drains or a limit is hit."""
+        self._stop_requested = False
+        heap = self._heap
+        pop = heapq.heappop
         until_t = float("inf") if until is None else until
         remaining = -1 if max_events is None else max_events
         serviced = 0
@@ -233,11 +600,6 @@ class EventQueue:
                 event._when = None
                 event._entry = None
                 serviced += 1
-                if trc is not None and trc.enabled:
-                    trc.emit(when, "eventq", self.name, "dispatch",
-                             name=event.name, pri=event.priority)
-                if ck is not None and ck.enabled:
-                    ck.on_dispatch(when, event)
                 event.process()
         finally:
             self.events_processed += serviced
@@ -251,4 +613,5 @@ class EventQueue:
         return sum(1 for entry in self._heap if entry[3] is not None)
 
     def __repr__(self) -> str:
-        return f"<EventQueue {self.name!r} tick={self.curtick} pending={len(self)}>"
+        return (f"<ReferenceEventQueue {self.name!r} "
+                f"tick={self.curtick} pending={len(self)}>")

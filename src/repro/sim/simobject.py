@@ -147,6 +147,10 @@ class SimObject:
         self.name = name
         self.tracer = sim.tracer
         self.checker = sim.checker
+        # Cached like the tracer/checker: the Simulator never replaces
+        # its event queue, and the hot paths (per-packet scheduling,
+        # curtick reads) shouldn't pay a two-hop property chain.
+        self.eventq = sim.eventq
         self.parent = parent
         self.children: List["SimObject"] = []
         if parent is not None:
@@ -172,7 +176,7 @@ class SimObject:
     @property
     def curtick(self) -> int:
         """The current simulated tick."""
-        return self.sim.curtick
+        return self.eventq.curtick
 
     def schedule(self, delay: int, callback: Callable[[], None], name: str = "") -> CallbackEvent:
         """Schedule ``callback`` to run ``delay`` ticks from now."""

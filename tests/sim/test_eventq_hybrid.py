@@ -1,0 +1,301 @@
+"""Property tests: the hybrid EventQueue against the reference heap.
+
+:class:`repro.sim.eventq.ReferenceEventQueue` is the original pure
+binary-heap scheduler, kept as the executable specification of dispatch
+order.  These tests drive it and the bucketed hybrid with identical
+randomized schedule/deschedule/reschedule workloads (fixed seeds) and
+assert the two dispatch sequences — tags, ticks, and therefore
+(tick, priority, insertion-seq) order — are identical, including under
+``until`` and ``max_events`` stepping.
+
+Also here: the recycled-event contract (a squashed entry can never fire
+a stale payload, even when its event is immediately rescheduled at the
+same tick), compaction behaviour, and the O(1) ``__len__``.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.eventq import Event, EventQueue, ReferenceEventQueue
+
+# Delay distribution for randomized workloads, chosen to exercise every
+# tier of the hybrid: 0 / tiny delays land in the active batch (insort
+# path), medium ones in the bucket ring, and large ones beyond the
+# ~67 µs window land in the far-future heap (default span is
+# 64 buckets << 20 bits = 67_108_864 ticks).
+_SPAN = 64 << 20
+_DELAY_CHOICES = (
+    0,              # same-tick: insort into the draining batch
+    1,              # adjacent tick
+    37,             # within the current bucket
+    1 << 20,        # next bucket
+    17 << 20,       # mid-ring
+    _SPAN - 1,      # last tick inside the window
+    _SPAN,          # first tick beyond: far heap
+    5 * _SPAN + 3,  # deep future: wheel must jump, not step
+)
+
+
+class _WorkloadEvent(Event):
+    """An event that reports back to the workload driver when it fires."""
+
+    __slots__ = ("driver", "tag")
+
+    def __init__(self, driver, tag, priority):
+        super().__init__(priority=priority, name=f"wl{tag}")
+        self.driver = driver
+        self.tag = tag
+
+    def process(self):
+        self.driver.fired(self)
+
+
+class _Workload:
+    """Drives one queue with a seed-determined reactive workload.
+
+    Every fired event logs ``(tag, tick)`` and then — drawn from the
+    driver's PRNG — schedules fresh events, deschedules or reschedules
+    pending ones.  Two drivers with the same seed consume their PRNGs
+    in dispatch order, so their logs are byte-identical exactly when
+    the two queues dispatch identically; any divergence shows up as a
+    log mismatch.
+    """
+
+    def __init__(self, queue, seed, budget=400):
+        self.q = queue
+        self.rng = random.Random(seed)
+        self.log = []
+        self.pending = []
+        self.budget = budget
+        self.next_tag = 0
+        for __ in range(16):
+            self._spawn(base=0)
+
+    def _spawn(self, base):
+        tag = self.next_tag
+        self.next_tag += 1
+        priority = self.rng.choice((-10, 0, 0, 0, 7))
+        when = base + self.rng.choice(_DELAY_CHOICES)
+        event = _WorkloadEvent(self, tag, priority)
+        self.q.schedule(event, when)
+        self.pending.append(event)
+        return event
+
+    def fired(self, event):
+        self.pending.remove(event)
+        self.log.append((event.tag, self.q.curtick))
+        rng = self.rng
+        if self.budget > 0:
+            for __ in range(rng.randrange(0, 3)):
+                self.budget -= 1
+                self._spawn(base=self.q.curtick)
+        if self.pending and rng.random() < 0.25:
+            victim = self.pending[rng.randrange(len(self.pending))]
+            if rng.random() < 0.5:
+                self.q.deschedule(victim)
+                self.pending.remove(victim)
+            else:
+                when = self.q.curtick + rng.choice(_DELAY_CHOICES)
+                self.q.reschedule(victim, when)
+
+
+def _run_pair(seed, runner):
+    """Run the same seeded workload on both queues via ``runner``."""
+    ref = _Workload(ReferenceEventQueue(), seed)
+    hyb = _Workload(EventQueue(), seed)
+    runner(ref.q)
+    runner(hyb.q)
+    assert ref.log, "workload fired nothing — test is vacuous"
+    assert hyb.log == ref.log
+    assert hyb.q.curtick == ref.q.curtick
+    assert hyb.q.events_processed == ref.q.events_processed
+    return ref, hyb
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_dispatch_matches_reference(seed):
+    _run_pair(seed, lambda q: q.run())
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_randomized_dispatch_matches_under_until_steps(seed):
+    def stepped(q):
+        # March time forward in fixed strides so runs stop mid-batch,
+        # mid-window, and mid-heap; the final unbounded run drains.
+        for limit in range(0, 40 * _SPAN, 3 * _SPAN + 12_345):
+            q.run(until=limit)
+        q.run()
+
+    _run_pair(seed, stepped)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_randomized_dispatch_matches_under_max_events_steps(seed):
+    def stepped(q):
+        for __ in range(1000):
+            q.run(max_events=7)
+            if q.empty():
+                break
+        q.run()
+
+    _run_pair(seed, stepped)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_len_and_next_tick_track_reference(seed):
+    ref = _Workload(ReferenceEventQueue(), seed)
+    hyb = _Workload(EventQueue(), seed)
+    for __ in range(1000):
+        assert len(hyb.q) == len(ref.q)
+        assert hyb.q.empty() == ref.q.empty()
+        assert hyb.q.next_tick() == ref.q.next_tick()
+        if hyb.q.empty():
+            break
+        assert hyb.q.service_one() == ref.q.service_one()
+        assert hyb.log == ref.log
+    assert hyb.q.empty() and ref.q.empty()
+
+
+# ---------------------------------------------------------------------------
+# Recycled events: a squashed entry must never fire a stale payload.
+# ---------------------------------------------------------------------------
+class _RecycledEvent(Event):
+    """Minimal model of the link/port recycled events: one instance,
+    mutable payload slot, reused as soon as ``scheduled`` is False."""
+
+    __slots__ = ("payload", "log")
+
+    def __init__(self, log):
+        super().__init__(name="recycled")
+        self.payload = None
+        self.log = log
+
+    def process(self):
+        self.log.append(self.payload)
+
+
+def test_recycled_event_does_not_fire_stale_payload_after_squash():
+    q = EventQueue()
+    log = []
+    event = _RecycledEvent(log)
+    event.payload = "stale"
+    q.schedule(event, 100)
+    q.deschedule(event)
+    # Reuse the instance immediately — same tick as the squashed entry.
+    event.payload = "fresh"
+    q.schedule(event, 100)
+    q.run()
+    assert log == ["fresh"]
+
+
+def test_recycled_event_squashed_mid_run_fires_only_fresh_payload():
+    # The hazard inside a drain batch: an earlier event at the same tick
+    # deschedules + reschedules (recycles) a later one whose squashed
+    # entry is already sitting in the active batch.
+    q = EventQueue()
+    log = []
+    recycled = _RecycledEvent(log)
+
+    def recycle():
+        q.deschedule(recycled)
+        recycled.payload = "fresh"
+        q.schedule(recycled, q.curtick)  # same tick, after the squashed entry
+
+    recycled.payload = "stale"
+    q.schedule_callback(50, recycle)
+    q.schedule(recycled, 50)
+    q.run()
+    assert log == ["fresh"]
+
+
+def test_recycled_event_reusable_after_firing():
+    q = EventQueue()
+    log = []
+    event = _RecycledEvent(log)
+    event.payload = 1
+    q.schedule(event, 10)
+    q.run()
+    assert not event.scheduled
+    event.payload = 2
+    q.schedule(event, q.curtick + 5)
+    q.run()
+    assert log == [1, 2]
+
+
+# ---------------------------------------------------------------------------
+# Compaction and O(1) length.
+# ---------------------------------------------------------------------------
+class _CountingEvent(Event):
+    __slots__ = ()
+
+    def process(self):
+        pass
+
+
+def _physical_entries(q):
+    return (len(q._heap) + len(q._active) - q._active_pos
+            + sum(len(b) for b in q._buckets))
+
+
+def test_compaction_drops_squashed_entries_from_all_tiers():
+    q = EventQueue()
+    events = []
+    # Spread across several buckets and the far heap.
+    for i in range(3000):
+        e = _CountingEvent()
+        q.schedule(e, (i % 5) * (1 << 19) + (0 if i % 3 else 2 * _SPAN))
+        events.append(e)
+    for e in events[:-10]:
+        q.deschedule(e)
+    assert len(q) == 10
+    # Dead entries must have been physically compacted away, not just
+    # squashed in place: 2990 squashed vs 10 live crosses the threshold
+    # repeatedly.  A residue below the compaction floor may remain.
+    assert q._squashed <= q.COMPACT_MIN_SQUASHED
+    assert _physical_entries(q) <= len(q) + q.COMPACT_MIN_SQUASHED
+    fired = 0
+    while q.service_one():
+        fired += 1
+    assert fired == 10
+    assert q.empty() and len(q) == 0
+
+
+def test_len_is_a_counter_not_a_scan():
+    q = EventQueue()
+    events = [_CountingEvent() for __ in range(100)]
+    for i, e in enumerate(events):
+        q.schedule(e, i)
+        assert len(q) == i + 1
+    for i, e in enumerate(events[:50]):
+        q.deschedule(e)
+        assert len(q) == 99 - i
+    assert not q.empty()
+    while q.service_one():
+        pass
+    assert len(q) == 0 and q.empty()
+
+
+def test_deep_future_wheel_jump():
+    # An empty wheel with only far-heap work: the window must jump
+    # straight to the heap minimum, not step bucket by bucket.
+    q = EventQueue()
+
+    class Tagged(Event):
+        __slots__ = ("log", "tag")
+
+        def __init__(self, log, tag):
+            super().__init__(name=tag)
+            self.log = log
+            self.tag = tag
+
+        def process(self):
+            self.log.append(self.tag)
+
+    order = []
+    for tag, when in (("far", 400 * _SPAN + 7), ("near", 3),
+                      ("mid", 2 * _SPAN)):
+        q.schedule(Tagged(order, tag), when)
+    q.run()
+    assert order == ["near", "mid", "far"]
+    assert q.curtick == 400 * _SPAN + 7

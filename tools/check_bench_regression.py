@@ -1,0 +1,82 @@
+"""Gate on the core-perf benchmark artifact.
+
+Usage::
+
+    python tools/check_bench_regression.py \
+        benchmarks/results/BENCH_core.json \
+        benchmarks/core_perf_thresholds.json
+
+Compares the *machine-normalised* metrics of the artifact's ``after``
+block (wall clocks divided by the frozen calibration workload, so the
+numbers are comparable across machines) against the committed
+thresholds, and fails when any metric exceeds its threshold.  The
+thresholds are set ~25 % above the post-overhaul measurements: CI noise
+passes, a real hot-path regression does not.  Kept in a script so the
+CI job and local runs share one definition of "pass".
+"""
+
+import json
+import sys
+
+#: Metrics bounded by the thresholds file: normalised wall clocks
+#: (lower is better) and absolute rate floors (higher is better).
+CEILING_KEYS = ("dd_gen2x1_norm", "link_norm", "eventq_norm")
+FLOOR_KEYS = ("eventq_ops_per_sec_min",)
+
+
+def check(doc, thresholds):
+    """Return a list of human-readable violations (empty == pass)."""
+    after = doc.get("after")
+    if not after:
+        return ["BENCH_core.json has no 'after' block — run "
+                "`python -m benchmarks.core_perf --phase after` first"]
+    problems = []
+    for key in CEILING_KEYS:
+        limit = thresholds.get(key)
+        value = after.get(key)
+        if limit is None or value is None:
+            problems.append(f"missing metric or threshold for {key!r} "
+                            f"(value={value}, limit={limit})")
+        elif value > limit:
+            problems.append(f"{key} = {value} exceeds threshold {limit} "
+                            f"({value / limit - 1.0:+.1%})")
+    for key in FLOOR_KEYS:
+        limit = thresholds.get(key)
+        value = after.get(key.removesuffix("_min"))
+        if limit is None or value is None:
+            problems.append(f"missing metric or threshold for {key!r} "
+                            f"(value={value}, limit={limit})")
+        elif value < limit:
+            problems.append(f"{key.removesuffix('_min')} = {value} below "
+                            f"floor {limit} ({value / limit - 1.0:+.1%})")
+    return problems
+
+
+def main(argv=None):
+    """Validate BENCH_core.json against thresholds; return exit status."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[0]) as fh:
+        doc = json.load(fh)
+    with open(argv[1]) as fh:
+        thresholds = json.load(fh)
+    problems = check(doc, thresholds)
+    if problems:
+        print("core-perf regression gate FAILED:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    after = doc.get("after", {})
+    speedup = doc.get("speedup")
+    print("core-perf regression gate passed:")
+    for key in CEILING_KEYS:
+        print(f"  {key} = {after.get(key)} (limit {thresholds.get(key)})")
+    if speedup:
+        print(f"  before/after speedup: {speedup}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
