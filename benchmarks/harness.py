@@ -236,7 +236,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("benchmark", nargs="?",
                         help="experiment name (see --list)")
     parser.add_argument("--list", action="store_true",
-                        help="list known experiment names and exit")
+                        help="list known experiment names with one-line "
+                             "descriptions and exit")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="worker processes for cache misses "
                              "(default: $REPRO_SWEEP_WORKERS or 1)")
@@ -255,7 +256,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
-        print("\n".join(sorted(sweeps.SWEEPS)))
+        # One line per registered sweep: name plus the first line of its
+        # builder's docstring (the builders double as the documentation).
+        width = max(len(name) for name in sweeps.SWEEPS)
+        for name in sorted(sweeps.SWEEPS):
+            doc = (sweeps.SWEEPS[name].__doc__ or "").strip()
+            summary = doc.splitlines()[0] if doc else ""
+            print(f"{name:<{width}}  {summary}".rstrip())
         return 0
     if not args.benchmark:
         parser.print_usage(sys.stderr)

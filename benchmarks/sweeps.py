@@ -14,6 +14,7 @@ result document.
 
 from benchmarks import config
 from repro.exp import Sweep
+from repro.system.spec import deep_hierarchy_spec
 
 #: Dotted runner paths (see repro.exp.points for the implementations).
 DD = "repro.exp.points:dd_point"
@@ -147,6 +148,41 @@ def stress_sweep() -> Sweep:
     return sweep
 
 
+#: Deep-hierarchy exploration grid: switch-spine depth × devices per
+#: switch.  The deepest point (d4/f8) is a 32-device fabric.
+DEEP_HIERARCHY_DEPTHS = (1, 2, 3, 4)
+DEEP_HIERARCHY_FANOUTS = (1, 2, 4, 8)
+
+#: One small dd block per deep-hierarchy point: the experiment measures
+#: fabric traversal cost, not sustained bandwidth, so a short transfer
+#: over the 16-point grid is enough.
+DEEP_HIERARCHY_BLOCK_BYTES = 64 * 1024
+
+
+def deep_hierarchy_sweep() -> Sweep:
+    """Topology exploration: dd throughput vs switch depth and fan-out.
+
+    Each point builds a :func:`repro.system.spec.deep_hierarchy_spec`
+    machine — a spine of ``depth`` switches carrying ``fanout`` devices
+    each — and runs ``dd`` against the *deepest* disk, so throughput
+    decays with every store-and-forward hop the fabric adds.  The full
+    serialised spec travels in the point parameters: the result cache
+    keys on the exact machine, and the results artifact names it.
+    """
+    sweep = Sweep("deep_hierarchy")
+    for depth in DEEP_HIERARCHY_DEPTHS:
+        for fanout in DEEP_HIERARCHY_FANOUTS:
+            spec = deep_hierarchy_spec(depth, fanout)
+            sweep.add(
+                f"d{depth}/f{fanout}", DD,
+                block_bytes=DEEP_HIERARCHY_BLOCK_BYTES,
+                startup_overhead=config.DD_STARTUP,
+                topology=spec.to_dict(),
+                device=f"sw{depth}_disk{fanout - 1}",
+            )
+    return sweep
+
+
 def device_level_sweep() -> Sweep:
     """Section VI-B in-text: device-level sector throughput, Gen 2 x1."""
     sweep = Sweep("device_level")
@@ -164,4 +200,5 @@ SWEEPS = {
     "ablations": ablations_sweep,
     "device_level": device_level_sweep,
     "stress": stress_sweep,
+    "deep_hierarchy": deep_hierarchy_sweep,
 }

@@ -14,7 +14,7 @@ Run:  python examples/nic_loopback.py
 
 from repro.sim import ticks
 from repro.sim.process import WaitFor
-from repro.system.topology import build_nic_system
+from repro.system import build_system, nic_spec
 from repro.workloads.mmio import MmioReadBench
 
 FRAMES = 8
@@ -24,7 +24,10 @@ RX_BUFFER = 0x9200_0000
 
 
 def main() -> None:
-    system = build_nic_system()
+    # The machine as data: nic_spec() is the declarative description of
+    # the Table II topology (a NIC directly on a root port); print its
+    # JSON form with spec.to_json() to see exactly what gets built.
+    system = build_system(nic_spec())
     driver = system.nic_driver
     print("probe results:")
     print(f"  matched {driver.found!r}")

@@ -21,6 +21,7 @@ from repro.sim import ticks
 from repro.system.topology import (
     build_classic_pci_system,
     build_nic_system,
+    build_system,
     build_validation_system,
 )
 from repro.workloads.dd import DdWorkload
@@ -51,8 +52,11 @@ def dd_point(block_bytes: int, startup_overhead: int = 0,
              gen: Optional[str] = None,
              switch_latency_ns: Optional[int] = None,
              rc_latency_ns: Optional[int] = None,
+             topology: Optional[Dict[str, Any]] = None,
+             device: Optional[str] = None,
              **system_kwargs: Any) -> Dict[str, float]:
-    """Run one ``dd`` transfer on the paper's validation topology.
+    """Run one ``dd`` transfer — on the paper's validation topology by
+    default, or on any machine a serialised topology spec describes.
 
     Args:
         block_bytes: bytes transferred by the single ``dd`` block.
@@ -63,10 +67,19 @@ def dd_point(block_bytes: int, startup_overhead: int = 0,
             None for the default.
         rc_latency_ns: root-complex latency in ns, or None for the
             default.
+        topology: a :meth:`repro.system.spec.TopologySpec.to_dict`
+            document to build instead of the validation topology.  The
+            whole document lands in the point's parameters, so the
+            result cache keys on the canonical serialisation of the
+            exact machine.  Mutually exclusive with the
+            validation-builder knobs (``gen``, ``switch_latency_ns``,
+            ``rc_latency_ns``, ``**system_kwargs``).
+        device: instance name of the disk ``dd`` targets (its link
+            shares the name); None uses the topology's sole disk.
         **system_kwargs: further JSON-safe keyword arguments passed to
             :func:`repro.system.topology.build_validation_system`
             (``root_link_width``, ``replay_buffer_size``, ``check``,
-            ...).
+            ...); with ``topology=`` only ``check`` is accepted.
 
     Returns:
         Flat metrics dict: dd-level and transfer-level throughput,
@@ -74,16 +87,39 @@ def dd_point(block_bytes: int, startup_overhead: int = 0,
         per-sector throughput — everything Figures 9(a–d) and the
         device-level check consume.
     """
-    kwargs = _system_kwargs(gen, switch_latency_ns, rc_latency_ns, system_kwargs)
-    system = build_validation_system(**kwargs)
-    dd = DdWorkload(system.kernel, system.disk_driver, block_bytes,
+    if topology is not None:
+        if gen is not None or switch_latency_ns is not None \
+                or rc_latency_ns is not None:
+            raise ValueError(
+                "topology= is a complete machine description; it cannot be "
+                "combined with the validation-builder knobs "
+                "gen/switch_latency_ns/rc_latency_ns")
+        check = system_kwargs.pop("check", None)
+        if system_kwargs:
+            raise ValueError(
+                f"topology= cannot be combined with builder kwargs "
+                f"{sorted(system_kwargs)}; set them inside the spec")
+        system = build_system(topology, check=check)
+    else:
+        kwargs = _system_kwargs(gen, switch_latency_ns, rc_latency_ns,
+                                system_kwargs)
+        system = build_validation_system(**kwargs)
+    if device is not None:
+        driver = system.drivers[device]
+        disk, link = driver.device, system.links[device]
+    else:
+        driver, disk, link = system.disk_driver, system.disk, system.disk_link
+        if driver is None:
+            raise ValueError("topology has no unambiguous disk; "
+                             "name the target with device=")
+    dd = DdWorkload(system.kernel, driver, block_bytes,
                     startup_overhead=startup_overhead)
     process = system.kernel.spawn("dd", dd.run())
     system.run(max_events=_MAX_EVENTS)
     if not process.done:
         raise RuntimeError("dd did not finish — simulation wedged?")
-    stats = link_replay_stats(system.disk_link)
-    sector_mean = system.disk.sector_transfer_ticks.mean
+    stats = link_replay_stats(link)
+    sector_mean = disk.sector_transfer_ticks.mean
     return {
         "throughput_gbps": dd.result.throughput_gbps,
         "transfer_gbps": dd.result.transfer_gbps,
@@ -91,7 +127,7 @@ def dd_point(block_bytes: int, startup_overhead: int = 0,
         "timeouts": stats["timeouts"],
         "tlps_sent": stats["tlps_sent"],
         "device_level_gbps": (
-            system.disk.sector_size * 8 / ticks.to_ns(sector_mean)
+            disk.sector_size * 8 / ticks.to_ns(sector_mean)
             if sector_mean
             else 0.0
         ),

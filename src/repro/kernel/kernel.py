@@ -85,7 +85,10 @@ class OsKernel(SimObject):
 
         Args:
             drivers: driver instances, in registration order (first
-                match wins, like kernel module load order).
+                match wins, like kernel module load order).  A driver
+                already bound to an earlier device is skipped, so
+                multi-device topologies pass one driver instance per
+                device of a kind.
             device_map: maps a discovered function's ``(bus, device,
                 function)`` to the device *model* so the probe can reach
                 its functional side-channels.
@@ -99,7 +102,7 @@ class OsKernel(SimObject):
             if node.is_bridge:
                 continue
             for driver in drivers:
-                if not driver.matches(node):
+                if driver.bound or not driver.matches(node):
                     continue
                 device_model = device_map.get(node.bdf)
                 driver.bind(self, node, device_model)

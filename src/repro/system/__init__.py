@@ -1,7 +1,22 @@
-"""Full-system assembly."""
+"""Full-system assembly: declarative topology specs and the builder."""
 
+from repro.system.spec import (
+    ClassicPciSpec,
+    DeviceSpec,
+    LinkSpec,
+    SpecError,
+    SwitchSpec,
+    TopologySpec,
+    classic_pci_spec,
+    deep_hierarchy_spec,
+    dual_device_spec,
+    nic_spec,
+    spec_from_dict,
+    validation_spec,
+)
 from repro.system.topology import (
     PcieSystem,
+    build_system,
     build_validation_system,
     build_nic_system,
     build_dual_device_system,
@@ -10,8 +25,21 @@ from repro.system.topology import (
 
 __all__ = [
     "PcieSystem",
+    "build_system",
     "build_validation_system",
     "build_nic_system",
     "build_dual_device_system",
     "build_classic_pci_system",
+    "TopologySpec",
+    "ClassicPciSpec",
+    "SwitchSpec",
+    "DeviceSpec",
+    "LinkSpec",
+    "SpecError",
+    "spec_from_dict",
+    "validation_spec",
+    "nic_spec",
+    "dual_device_spec",
+    "classic_pci_spec",
+    "deep_hierarchy_spec",
 ]

@@ -1,10 +1,20 @@
-"""Topology builders.
+"""Generic, spec-driven system assembly.
 
-Each builder assembles the full machine of the paper's Figures 3 and 6 —
-processor, MemBus, DRAM, IOCache, PCI host, root complex, PCI-Express
-links, optional switch, devices, kernel, drivers — boots it (PCI
-enumeration) and binds drivers, returning a :class:`PcieSystem` with
-handles to every component.
+:func:`build_system` turns a declarative :class:`~repro.system.spec.TopologySpec`
+tree — root complex, arbitrarily deep/fanned switch hierarchies,
+per-link PCI-Express parameters, any mix of devices — into a fully
+assembled machine of the paper's Figures 3 and 6: processor, MemBus,
+DRAM, IOCache, PCI host, root complex, links, switches, devices,
+kernel, drivers.  It then boots the kernel (PCI enumeration walks the
+same tree through the virtual P2P bridges), binds drivers, and returns
+a :class:`PcieSystem` with handles to every component keyed by the
+spec's instance names.
+
+The four historical builders (``build_validation_system``,
+``build_nic_system``, ``build_dual_device_system``,
+``build_classic_pci_system``) remain as thin wrappers over the spec
+constructors in :mod:`repro.system.spec` — wire-compatible, same
+component names, byte-identical traces and sweep payloads.
 
 ``build_validation_system`` reproduces the paper's validation topology:
 
@@ -15,7 +25,8 @@ port buffers of 16 packets and replay buffers of 4 — every one of those
 knobs is a keyword argument because the paper's Figure 9 sweeps them.
 """
 
-from typing import Dict, List, Optional
+import warnings
+from typing import Dict, List, Optional, Union
 
 from repro.devices.disk import IdeDisk
 from repro.devices.nic import Nic8254xPcie
@@ -33,10 +44,71 @@ from repro.pcie.timing import PcieGen
 from repro.platform.addrmap import VEXPRESS_GEM5_V1, AddressMap
 from repro.sim import ticks
 from repro.sim.simobject import SimObject, Simulator
+from repro.system.spec import (ClassicPciSpec, DeviceSpec, LinkSpec, SpecError,
+                               SwitchSpec, TopologySpec, classic_pci_spec,
+                               dual_device_spec, nic_spec, spec_from_dict,
+                               validation_spec)
+
+#: Device model and driver classes behind each :class:`DeviceSpec` kind.
+#: The spec layer names kinds; this registry is the single place the
+#: names meet classes, so a new device model is one entry here plus a
+#: kind name in :data:`repro.system.spec.DEVICE_KIND_NAMES`.
+DEVICE_KINDS = {
+    "disk": (IdeDisk, IdeDiskDriver),
+    "nic": (Nic8254xPcie, E1000eDriver),
+}
+
+
+class _DeviceMap(dict):
+    """``PcieSystem.devices`` with a deprecation shim: the MSI doorbell
+    used to live here under ``"msi_doorbell"`` but is platform plumbing,
+    not a device — it now lives in :attr:`PcieSystem.msi_doorbell`.
+    Lookups through the old key keep working with a DeprecationWarning.
+    """
+
+    _LEGACY_KEY = "msi_doorbell"
+
+    def __init__(self, system: "PcieSystem"):
+        super().__init__()
+        self._system = system
+
+    def _legacy_doorbell(self):
+        doorbell = self._system.msi_doorbell
+        if doorbell is None:
+            return None
+        warnings.warn(
+            'devices["msi_doorbell"] is deprecated; use '
+            "PcieSystem.msi_doorbell instead",
+            DeprecationWarning, stacklevel=3,
+        )
+        return doorbell
+
+    def __missing__(self, key):
+        if key == self._LEGACY_KEY:
+            doorbell = self._legacy_doorbell()
+            if doorbell is not None:
+                return doorbell
+        raise KeyError(key)
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key):
+        if dict.__contains__(self, key):
+            return True
+        return key == self._LEGACY_KEY and self._system.msi_doorbell is not None
 
 
 class PcieSystem:
-    """Handles to an assembled, booted system."""
+    """Handles to an assembled, booted system.
+
+    ``devices``/``links``/``switches``/``drivers`` are keyed by the
+    spec's unique instance names; ``spec`` records the topology the
+    machine was built from (None for hand-assembled systems).
+    """
 
     def __init__(self, sim: Simulator, addrmap: AddressMap):
         self.sim = sim
@@ -48,36 +120,61 @@ class PcieSystem:
         self.kernel: Optional[OsKernel] = None
         self.root_complex: Optional[RootComplex] = None
         self.switch: Optional[PcieSwitch] = None
+        self.switches: Dict[str, PcieSwitch] = {}
         self.links: Dict[str, PcieLink] = {}
-        self.devices: Dict[str, object] = {}
+        self.devices: Dict[str, object] = _DeviceMap(self)
         self.drivers: Dict[str, object] = {}
+        self.msi_doorbell = None
+        self.spec: Optional[Union[TopologySpec, ClassicPciSpec]] = None
         self.found_devices = []
 
     # -- conveniences -------------------------------------------------------
+    def _sole_device(self, cls):
+        """The unique device instance of ``cls``, or None if 0 or 2+."""
+        found = [d for d in self.devices.values() if isinstance(d, cls)]
+        return found[0] if len(found) == 1 else None
+
+    def _device_name(self, model) -> Optional[str]:
+        for name, device in self.devices.items():
+            if device is model:
+                return name
+        return None
+
     @property
     def disk(self) -> Optional[IdeDisk]:
-        return self.devices.get("disk")
+        """The disk — by its classic ``"disk"`` name, else the sole
+        :class:`IdeDisk` instance (None when ambiguous)."""
+        return self.devices.get("disk") or self._sole_device(IdeDisk)
 
     @property
     def nic(self) -> Optional[Nic8254xPcie]:
-        return self.devices.get("nic")
+        """The NIC — by name, else the sole instance (None when ambiguous)."""
+        return self.devices.get("nic") or self._sole_device(Nic8254xPcie)
 
     @property
     def disk_driver(self) -> Optional[IdeDiskDriver]:
-        return self.drivers.get("disk")
+        """Driver of :attr:`disk` (None without an unambiguous disk)."""
+        disk = self.disk
+        return self.drivers.get(self._device_name(disk)) if disk else None
 
     @property
     def nic_driver(self) -> Optional[E1000eDriver]:
-        return self.drivers.get("nic")
+        """Driver of :attr:`nic` (None without an unambiguous NIC)."""
+        nic = self.nic
+        return self.drivers.get(self._device_name(nic)) if nic else None
 
     @property
     def disk_link(self) -> Optional[PcieLink]:
-        return self.links.get("disk")
+        """Link of :attr:`disk` — every device's link shares its name."""
+        disk = self.disk
+        return self.links.get(self._device_name(disk)) if disk else None
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drive the simulator (see :meth:`repro.sim.simobject.Simulator.run`)."""
         return self.sim.run(until=until, max_events=max_events)
 
     def stats(self) -> dict:
+        """Flat dotted-name statistics dump of the whole machine."""
         return self.sim.dump_stats()
 
 
@@ -112,7 +209,7 @@ def _attach_msi_doorbell(system: PcieSystem) -> None:
 
     doorbell = MsiDoorbell(system.sim, intc=system.kernel.intc)
     doorbell.port.bind(system.membus.attach_slave("msi_doorbell_side"))
-    system.devices["msi_doorbell"] = doorbell
+    system.msi_doorbell = doorbell
     system.kernel.msi_target_addr = doorbell.range.start
 
 
@@ -138,7 +235,13 @@ def _connect_link(link: PcieLink, upstream_port, device=None, switch=None) -> No
 
 
 def _boot_and_bind(system: PcieSystem, driver_specs: List[tuple]) -> None:
-    """Enumerate, then bind (name, driver, device_model) triples."""
+    """Enumerate, then bind (name, driver, device_model) triples.
+
+    The name→driver mapping in ``system.drivers`` is made by model
+    identity (``driver.device``), not list position, so it stays correct
+    however the kernel's first-match binding pairs drivers with multiple
+    same-kind devices.
+    """
     kernel = system.kernel
     system.found_devices = kernel.boot(
         system.host,
@@ -146,6 +249,7 @@ def _boot_and_bind(system: PcieSystem, driver_specs: List[tuple]) -> None:
         io_window=system.addrmap.pci_io,
     )
     device_map = {}
+    models = {id(model): (name, model) for name, __, model in driver_specs}
     for node in kernel.enumerator.all_devices():
         if node.is_bridge:
             continue
@@ -153,9 +257,222 @@ def _boot_and_bind(system: PcieSystem, driver_specs: List[tuple]) -> None:
             if system.host.function_at(*node.bdf) is model.function:
                 device_map[node.bdf] = model
     kernel.bind_drivers([drv for __, drv, __ in driver_specs], device_map)
-    for name, driver, model in driver_specs:
+    for __, driver, __ in driver_specs:
+        if not driver.bound:
+            raise RuntimeError(
+                f"{type(driver).__name__} found no device to bind")
+        name, model = models[id(driver.device)]
         system.drivers[name] = driver
         model.intc = kernel.intc
+
+
+# ---------------------------------------------------------------------------
+# The generic, spec-driven builder.
+# ---------------------------------------------------------------------------
+
+
+def _advertised_link(node: Union[TopologySpec, SwitchSpec]) -> LinkSpec:
+    """The LinkSpec whose gen/width an engine's VP2P bridges advertise.
+
+    Mirrors the historical builders: the root complex advertised its
+    root link, the switch its device links — i.e. the first child's
+    edge.  A childless switch falls back to its own uplink.
+    """
+    if node.children:
+        return node.children[0].link
+    return node.link  # only reachable for SwitchSpec
+
+
+def _build_link(sim: Simulator, link: LinkSpec) -> PcieLink:
+    """Instantiate one :class:`PcieLink` named ``{link.name}_link``."""
+    extra = {}
+    if link.replay_timeout is not None:
+        extra["replay_timeout"] = link.replay_timeout
+    if link.ack_period is not None:
+        extra["ack_period"] = link.ack_period
+    return PcieLink(
+        sim, f"{link.name}_link", gen=PcieGen[link.gen], width=link.width,
+        propagation_delay=link.propagation_delay,
+        replay_buffer_size=link.replay_buffer_size,
+        max_payload=link.max_payload, ack_policy=link.ack_policy,
+        input_queue_size=link.input_queue_size, error_rate=link.error_rate,
+        dllp_error_rate=link.dllp_error_rate, error_seed=link.error_seed,
+        **extra,
+    )
+
+
+def _build_subtree(sim: Simulator, system: PcieSystem,
+                   node: Union[SwitchSpec, DeviceSpec], upstream_port,
+                   enable_msi: bool) -> None:
+    """Instantiate and wire one spec node (and, for switches, the whole
+    subtree behind it) below ``upstream_port``."""
+    if isinstance(node, DeviceSpec):
+        model_cls, __ = DEVICE_KINDS[node.kind]
+        params = dict(node.params)
+        if enable_msi:
+            params.setdefault("msi_functional", True)
+        device = model_cls(sim, name=node.name, **params)
+        system.devices[node.name] = device
+        link = _build_link(sim, node.link)
+        _connect_link(link, upstream_port, device=device)
+        system.links[node.link.name] = link
+        return
+
+    advert = _advertised_link(node)
+    switch = PcieSwitch(
+        sim, name=node.name,
+        num_downstream_ports=node.effective_num_ports,
+        latency=node.latency, buffer_size=node.buffer_size,
+        service_interval=node.service_interval,
+        datapath_scope=node.datapath_scope,
+        link_speed=PcieGen[advert.gen].speed_code, link_width=advert.width,
+    )
+    system.switches[node.name] = switch
+    if system.switch is None:
+        system.switch = switch
+    link = _build_link(sim, node.link)
+    _connect_link(link, upstream_port, switch=switch)
+    system.links[node.link.name] = link
+    for i, child in enumerate(node.children):
+        _build_subtree(sim, system, child, switch.downstream_ports[i],
+                       enable_msi)
+
+
+def _register_subtree(system: PcieSystem,
+                      node: Union[SwitchSpec, DeviceSpec], parent_bus) -> None:
+    """Install one node's configuration-space presence on ``parent_bus``
+    (recursing through switch-internal buses), mirroring the physical
+    wiring laid down by :func:`_build_subtree`."""
+    if isinstance(node, DeviceSpec):
+        parent_bus.add_function(0, 0, system.devices[node.name].function)
+        return
+    down_buses = system.switches[node.name].register_with_host(parent_bus)
+    for i, child in enumerate(node.children):
+        _register_subtree(system, child, down_buses[i])
+
+
+def _build_pcie_from_spec(spec: TopologySpec, sim: Simulator,
+                          addrmap: AddressMap,
+                          kernel_config: Optional[KernelConfig]) -> PcieSystem:
+    """Assemble, boot and bind a PCI-Express machine from a spec tree."""
+    spec.validate()
+    system = _build_core(sim, addrmap, kernel_config)
+    system.spec = spec
+
+    advert = _advertised_link(spec)
+    root_complex = RootComplex(
+        sim, num_root_ports=spec.effective_num_root_ports,
+        latency=spec.rc_latency, buffer_size=spec.rc_buffer_size,
+        service_interval=spec.rc_service_interval,
+        datapath_scope=spec.rc_datapath_scope,
+        link_speed=PcieGen[advert.gen].speed_code, link_width=advert.width,
+    )
+    _attach_root_complex(system, root_complex)
+    if spec.enable_msi:
+        _attach_msi_doorbell(system)
+
+    for i, child in enumerate(spec.children):
+        _build_subtree(sim, system, child, root_complex.root_ports[i],
+                       spec.enable_msi)
+
+    # Configuration-space tree: root ports on bus 0, each subtree behind
+    # its root port, in spec (= physical wiring = discovery) order.
+    rp_buses = root_complex.register_with_host(system.host)
+    for i, child in enumerate(spec.children):
+        _register_subtree(system, child, rp_buses[i])
+
+    driver_specs = []
+    for device in spec.devices():
+        __, driver_cls = DEVICE_KINDS[device.kind]
+        driver_specs.append(
+            (device.name, driver_cls(), system.devices[device.name]))
+    _boot_and_bind(system, driver_specs)
+    return system
+
+
+def _build_classic_from_spec(spec: ClassicPciSpec, sim: Simulator,
+                             addrmap: AddressMap,
+                             kernel_config: Optional[KernelConfig]) -> PcieSystem:
+    """Assemble the classic shared-PCI-bus baseline from a spec.
+
+    CPU requests cross a host bridge onto the shared bus; the disk's DMA
+    masters the same bus toward memory (through the IOCache).  Useful
+    only for the PCI-vs-PCIe ablation — everything else in the paper
+    assumes the PCI-Express fabric.
+    """
+    from repro.mem.bridge import Bridge
+    from repro.pci.bus import PciBus
+
+    spec.validate()
+    system = _build_core(sim, addrmap, kernel_config)
+    system.spec = spec
+
+    bus = PciBus(sim, clock_mhz=spec.clock_mhz)
+    system.devices["pci_bus"] = bus
+
+    model_cls, driver_cls = DEVICE_KINDS[spec.device.kind]
+    disk = model_cls(sim, name=spec.device.name, **spec.device.params)
+    system.devices[spec.device.name] = disk
+
+    # CPU -> membus -> host bridge -> shared bus -> disk PIO.
+    host_bridge = Bridge(sim, "host_bridge", delay=ticks.from_ns(100))
+    host_bridge.slave_port.get_ranges = lambda: disk.function.bar_ranges(
+        require_enable=False
+    )
+    host_bridge.slave_port.bind(system.membus.attach_slave("host_bridge_side"))
+    host_bridge.master_port.bind(bus.attach_master("host_bridge"))
+    bus.attach_target(f"{spec.device.name}_side").bind(disk.pio_port)
+
+    # Disk DMA -> shared bus -> memory target -> IOCache -> membus.
+    disk.dma_port.bind(bus.attach_master(f"{spec.device.name}_dma"))
+    bus.attach_target(
+        "memory_side", ranges=lambda: [addrmap.dram]
+    ).bind(system.iocache.cpu_side)
+
+    system.host.root_bus.add_function(1, 0, disk.function)
+    _boot_and_bind(system, [(spec.device.name, driver_cls(), disk)])
+    return system
+
+
+def build_system(
+    spec: Union[TopologySpec, ClassicPciSpec, dict],
+    sim: Optional[Simulator] = None,
+    addrmap: AddressMap = VEXPRESS_GEM5_V1,
+    kernel_config: Optional[KernelConfig] = None,
+    check: Optional[bool] = None,
+) -> PcieSystem:
+    """Build, boot and bind any machine a topology spec can describe.
+
+    Args:
+        spec: a :class:`~repro.system.spec.TopologySpec`, a
+            :class:`~repro.system.spec.ClassicPciSpec`, or either's
+            :meth:`to_dict`/JSON document form.
+        sim: an existing simulator to build into (a fresh one is created
+            otherwise).
+        addrmap: the platform address map.
+        kernel_config: kernel timing/behaviour knobs.
+        check: arm the runtime invariant checker on the freshly built
+            simulator (ignored when ``sim`` is supplied); None defers to
+            the ``REPRO_CHECK`` environment variable.
+
+    Returns:
+        A :class:`PcieSystem` whose ``devices``/``links``/``switches``/
+        ``drivers`` mappings are keyed by the spec's instance names and
+        whose ``spec`` attribute records the topology built.
+    """
+    if isinstance(spec, dict):
+        spec = spec_from_dict(spec)
+    sim = sim or Simulator(check=check)
+    if isinstance(spec, ClassicPciSpec):
+        return _build_classic_from_spec(spec, sim, addrmap, kernel_config)
+    if isinstance(spec, TopologySpec):
+        return _build_pcie_from_spec(spec, sim, addrmap, kernel_config)
+    raise SpecError(f"cannot build a system from {type(spec).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# The historical builders, now thin wrappers over specs.
+# ---------------------------------------------------------------------------
 
 
 def build_validation_system(
@@ -192,56 +509,19 @@ def build_validation_system(
     runtime invariant checker on the freshly built simulator (ignored
     when an existing ``sim`` is supplied).
     """
-    sim = sim or Simulator(check=check)
-    system = _build_core(sim, addrmap, kernel_config)
-
-    root_complex = RootComplex(
-        sim, num_root_ports=3,
-        latency=rc_latency, buffer_size=buffer_size,
+    spec = validation_spec(
+        gen=gen.name, root_link_width=root_link_width,
+        device_link_width=device_link_width, rc_latency=rc_latency,
+        switch_latency=switch_latency, buffer_size=buffer_size,
+        replay_buffer_size=replay_buffer_size,
         service_interval=service_interval, datapath_scope=datapath_scope,
-        link_speed=gen.speed_code, link_width=root_link_width,
+        ack_policy=ack_policy, error_rate=error_rate,
+        dllp_error_rate=dllp_error_rate, input_queue_size=input_queue_size,
+        error_seed=error_seed, posted_writes=posted_writes,
+        disk_access_latency=disk_access_latency, enable_msi=enable_msi,
     )
-    _attach_root_complex(system, root_complex)
-
-    switch = PcieSwitch(
-        sim, num_downstream_ports=2,
-        latency=switch_latency, buffer_size=buffer_size,
-        service_interval=service_interval, datapath_scope=datapath_scope,
-        link_speed=gen.speed_code, link_width=device_link_width,
-    )
-    system.switch = switch
-
-    root_link = PcieLink(
-        sim, "root_link", gen=gen, width=root_link_width,
-        replay_buffer_size=replay_buffer_size, ack_policy=ack_policy,
-        error_rate=error_rate, dllp_error_rate=dllp_error_rate,
-        input_queue_size=input_queue_size, error_seed=error_seed,
-    )
-    _connect_link(root_link, root_complex.root_ports[0], switch=switch)
-    system.links["root"] = root_link
-
-    if enable_msi:
-        _attach_msi_doorbell(system)
-    disk = IdeDisk(sim, access_latency=disk_access_latency,
-                   posted_writes=posted_writes, msi_functional=enable_msi)
-    system.devices["disk"] = disk
-    disk_link = PcieLink(
-        sim, "disk_link", gen=gen, width=device_link_width,
-        replay_buffer_size=replay_buffer_size, ack_policy=ack_policy,
-        error_rate=error_rate, dllp_error_rate=dllp_error_rate,
-        input_queue_size=input_queue_size, error_seed=error_seed,
-    )
-    _connect_link(disk_link, switch.downstream_ports[0], device=disk)
-    system.links["disk"] = disk_link
-
-    # Configuration-space tree: root ports on bus 0, the switch behind
-    # root port 0, the disk behind switch downstream port 0.
-    rp_buses = root_complex.register_with_host(system.host)
-    down_buses = switch.register_with_host(rp_buses[0])
-    down_buses[0].add_function(0, 0, disk.function)
-
-    _boot_and_bind(system, [("disk", IdeDiskDriver(), disk)])
-    return system
+    return build_system(spec, sim=sim, addrmap=addrmap,
+                        kernel_config=kernel_config, check=check)
 
 
 def build_nic_system(
@@ -261,32 +541,14 @@ def build_nic_system(
 ) -> PcieSystem:
     """The Table II topology: a NIC directly on a root port, with the
     root-complex latency swept."""
-    sim = sim or Simulator(check=check)
-    system = _build_core(sim, addrmap, kernel_config)
-
-    root_complex = RootComplex(
-        sim, num_root_ports=3,
-        latency=rc_latency, buffer_size=buffer_size,
+    spec = nic_spec(
+        gen=gen.name, link_width=link_width, rc_latency=rc_latency,
+        buffer_size=buffer_size, replay_buffer_size=replay_buffer_size,
         service_interval=service_interval, datapath_scope=datapath_scope,
-        link_speed=gen.speed_code, link_width=link_width,
+        ack_policy=ack_policy, enable_msi=enable_msi,
     )
-    _attach_root_complex(system, root_complex)
-
-    if enable_msi:
-        _attach_msi_doorbell(system)
-    nic = Nic8254xPcie(sim, msi_functional=enable_msi)
-    system.devices["nic"] = nic
-    nic_link = PcieLink(sim, "nic_link", gen=gen, width=link_width,
-                        replay_buffer_size=replay_buffer_size,
-                        ack_policy=ack_policy)
-    _connect_link(nic_link, root_complex.root_ports[0], device=nic)
-    system.links["nic"] = nic_link
-
-    rp_buses = root_complex.register_with_host(system.host)
-    rp_buses[0].add_function(0, 0, nic.function)
-
-    _boot_and_bind(system, [("nic", E1000eDriver(), nic)])
-    return system
+    return build_system(spec, sim=sim, addrmap=addrmap,
+                        kernel_config=kernel_config, check=check)
 
 
 def build_dual_device_system(
@@ -306,55 +568,16 @@ def build_dual_device_system(
 ) -> PcieSystem:
     """A richer topology for the examples: the disk behind switch port 0
     and the NIC behind switch port 1, sharing the root link."""
-    sim = sim or Simulator()
-    system = _build_core(sim, addrmap, kernel_config)
-
-    root_complex = RootComplex(
-        sim, num_root_ports=3,
-        latency=rc_latency, buffer_size=buffer_size,
+    spec = dual_device_spec(
+        gen=gen.name, root_link_width=root_link_width,
+        device_link_width=device_link_width, rc_latency=rc_latency,
+        switch_latency=switch_latency, buffer_size=buffer_size,
+        replay_buffer_size=replay_buffer_size,
         service_interval=service_interval, datapath_scope=datapath_scope,
-        link_speed=gen.speed_code, link_width=root_link_width,
+        ack_policy=ack_policy,
     )
-    _attach_root_complex(system, root_complex)
-
-    switch = PcieSwitch(
-        sim, num_downstream_ports=2,
-        latency=switch_latency, buffer_size=buffer_size,
-        service_interval=service_interval, datapath_scope=datapath_scope,
-        link_speed=gen.speed_code, link_width=device_link_width,
-    )
-    system.switch = switch
-    root_link = PcieLink(sim, "root_link", gen=gen, width=root_link_width,
-                         replay_buffer_size=replay_buffer_size,
-                         ack_policy=ack_policy)
-    _connect_link(root_link, root_complex.root_ports[0], switch=switch)
-    system.links["root"] = root_link
-
-    disk = IdeDisk(sim)
-    nic = Nic8254xPcie(sim)
-    system.devices["disk"] = disk
-    system.devices["nic"] = nic
-    disk_link = PcieLink(sim, "disk_link", gen=gen, width=device_link_width,
-                         replay_buffer_size=replay_buffer_size,
-                         ack_policy=ack_policy)
-    nic_link = PcieLink(sim, "nic_link", gen=gen, width=device_link_width,
-                        replay_buffer_size=replay_buffer_size,
-                        ack_policy=ack_policy)
-    _connect_link(disk_link, switch.downstream_ports[0], device=disk)
-    _connect_link(nic_link, switch.downstream_ports[1], device=nic)
-    system.links["disk"] = disk_link
-    system.links["nic"] = nic_link
-
-    rp_buses = root_complex.register_with_host(system.host)
-    down_buses = switch.register_with_host(rp_buses[0])
-    down_buses[0].add_function(0, 0, disk.function)
-    down_buses[1].add_function(0, 0, nic.function)
-
-    _boot_and_bind(
-        system,
-        [("disk", IdeDiskDriver(), disk), ("nic", E1000eDriver(), nic)],
-    )
-    return system
+    return build_system(spec, sim=sim, addrmap=addrmap,
+                        kernel_config=kernel_config)
 
 
 def build_classic_pci_system(
@@ -366,40 +589,8 @@ def build_classic_pci_system(
     check: Optional[bool] = None,
 ) -> PcieSystem:
     """The pre-PCI-Express baseline: the same IDE-like disk on a classic
-    shared PCI bus (Section II-A) instead of the PCI-Express fabric.
-
-    CPU requests cross a host bridge onto the shared bus; the disk's DMA
-    masters the same bus toward memory (through the IOCache).  Useful
-    only for the PCI-vs-PCIe ablation — everything else in the paper
-    assumes the PCI-Express fabric.
-    """
-    from repro.mem.bridge import Bridge
-    from repro.pci.bus import PciBus
-
-    sim = sim or Simulator(check=check)
-    system = _build_core(sim, addrmap, kernel_config)
-
-    bus = PciBus(sim, clock_mhz=clock_mhz)
-    system.devices["pci_bus"] = bus
-
-    disk = IdeDisk(sim, access_latency=disk_access_latency)
-    system.devices["disk"] = disk
-
-    # CPU -> membus -> host bridge -> shared bus -> disk PIO.
-    host_bridge = Bridge(sim, "host_bridge", delay=ticks.from_ns(100))
-    host_bridge.slave_port.get_ranges = lambda: disk.function.bar_ranges(
-        require_enable=False
-    )
-    host_bridge.slave_port.bind(system.membus.attach_slave("host_bridge_side"))
-    host_bridge.master_port.bind(bus.attach_master("host_bridge"))
-    bus.attach_target("disk_side").bind(disk.pio_port)
-
-    # Disk DMA -> shared bus -> memory target -> IOCache -> membus.
-    disk.dma_port.bind(bus.attach_master("disk_dma"))
-    bus.attach_target(
-        "memory_side", ranges=lambda: [addrmap.dram]
-    ).bind(system.iocache.cpu_side)
-
-    system.host.root_bus.add_function(1, 0, disk.function)
-    _boot_and_bind(system, [("disk", IdeDiskDriver(), disk)])
-    return system
+    shared PCI bus (Section II-A) instead of the PCI-Express fabric."""
+    spec = classic_pci_spec(clock_mhz=clock_mhz,
+                            disk_access_latency=disk_access_latency)
+    return build_system(spec, sim=sim, addrmap=addrmap,
+                        kernel_config=kernel_config, check=check)

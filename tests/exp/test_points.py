@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.exp.points import classic_pci_point, dd_point, mmio_point
+from repro.system.spec import deep_hierarchy_spec, validation_spec
 
 SMALL = 16 * 1024  # one-IO-sized block keeps these runs fast
 
@@ -30,6 +31,24 @@ def test_dd_point_translates_gen_and_latency_names():
 def test_dd_point_rejects_unknown_generation():
     with pytest.raises(KeyError):
         dd_point(SMALL, gen="GEN99")
+
+
+def test_dd_point_topology_axis_runs_serialized_specs():
+    spec = deep_hierarchy_spec(2, 1)
+    result = dd_point(SMALL, topology=spec.to_dict(), device="sw2_disk0")
+    assert result["throughput_gbps"] > 0
+    json.dumps(result)
+    # A validation-equivalent spec reproduces the default point exactly.
+    via_spec = dd_point(SMALL, topology=validation_spec().to_dict())
+    assert via_spec == dd_point(SMALL)
+
+
+def test_dd_point_topology_excludes_builder_knobs():
+    doc = validation_spec().to_dict()
+    with pytest.raises(ValueError, match="cannot be combined"):
+        dd_point(SMALL, topology=doc, gen="GEN3")
+    with pytest.raises(ValueError, match="inside the spec"):
+        dd_point(SMALL, topology=doc, root_link_width=8)
 
 
 def test_mmio_point_latency_tracks_rc_latency():

@@ -42,7 +42,7 @@ def test_dd_completes_via_msi_memory_writes():
     process = system.kernel.spawn("dd", dd.run())
     system.run(max_events=20_000_000)
     assert process.done
-    doorbell = system.devices["msi_doorbell"]
+    doorbell = system.msi_doorbell
     # One command (16 sectors < 32/request): one interrupt, as an MSI.
     assert doorbell.msis_received.value() >= 1
     assert system.disk.msis_sent.value() == doorbell.msis_received.value()
@@ -82,7 +82,7 @@ def test_nic_msi_loopback_round_trip():
     system.kernel.spawn("loopback", body())
     system.run(max_events=5_000_000)
     assert done.get("ok")
-    assert system.devices["msi_doorbell"].msis_received.value() >= 2
+    assert system.msi_doorbell.msis_received.value() >= 2
 
 
 def test_msi_writes_travel_the_fabric():
@@ -94,7 +94,7 @@ def test_msi_writes_travel_the_fabric():
     system.kernel.spawn("dd", dd.run())
     before = system.disk_link.up_link.packets.value()
     system.run(max_events=20_000_000)
-    doorbell = system.devices["msi_doorbell"]
+    doorbell = system.msi_doorbell
     assert doorbell.msis_received.value() >= 1
     # The MSI adds at least one extra upstream TLP beyond the DMA writes.
     dma_packets = 4 * 64  # 16 KB of 64B write TLPs
