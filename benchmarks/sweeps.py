@@ -15,12 +15,14 @@ result document.
 from benchmarks import config
 from repro.exp import Sweep
 from repro.system.spec import deep_hierarchy_spec
+from repro.workloads.scenarios import SCENARIOS, fanout_contention
 
 #: Dotted runner paths (see repro.exp.points for the implementations).
 DD = "repro.exp.points:dd_point"
 MMIO = "repro.exp.points:mmio_point"
 CLASSIC_PCI = "repro.exp.points:classic_pci_point"
 STRESS = "repro.exp.points:stress_point"
+SCENARIO = "repro.exp.points:scenario_point"
 
 #: Fig. 9(b) sweeps the paper's smallest and a mid-size block.
 FIG9B_BLOCKS = ("64MB", "256MB")
@@ -119,8 +121,9 @@ STRESS_DLLP_ERROR_RATES = (0.0, 0.1)
 STRESS_REPLAY_BUFFERS = (1, 2, 4)
 STRESS_INPUT_QUEUES = (1, 2)
 
-#: One small dd block per stress point keeps the 36-point grid cheap
-#: while still moving enough TLPs (~1k) to hit every recovery path.
+#: One small dd block per stress point keeps the 36-point grid (37 with
+#: the multi-flow point) cheap while still moving enough TLPs (~1k) to
+#: hit every recovery path.
 STRESS_BLOCK_BYTES = 64 * 1024
 
 
@@ -145,6 +148,16 @@ def stress_sweep() -> Sweep:
                         replay_buffer_size=rb, input_queue_size=iq,
                         **params,
                     )
+    # The 37th point: a *multi-flow* scenario under fault injection on
+    # the shared uplink, so the campaign also gates concurrent-initiator
+    # recovery (checker armed explicitly — this sweep runs unchecked
+    # points through the same grid gate).
+    sweep.add(
+        "multiflow/er0.02", SCENARIO,
+        scenario=fanout_contention(fanout=2, requests=2, block_bytes=8192,
+                                   error_rate=0.02).to_dict(),
+        check=True,
+    )
     return sweep
 
 
@@ -183,6 +196,30 @@ def deep_hierarchy_sweep() -> Sweep:
     return sweep
 
 
+#: Uplink widths the traffic sweep relieves the contended uplink with.
+TRAFFIC_UPLINK_WIDTHS = (1, 2, 4)
+
+
+def traffic_sweep() -> Sweep:
+    """Multi-flow contention study: the scenario library as sweep points.
+
+    ``fanout_contention`` runs at three uplink widths (the fairness/
+    tail-latency relief curve); the rest of the library rides along at
+    defaults so the sweep doubles as a cached regression net over every
+    scenario.  Each point's parameters carry the full serialised
+    scenario, so the result cache keys on the exact experiment.
+    """
+    sweep = Sweep("traffic")
+    for width in TRAFFIC_UPLINK_WIDTHS:
+        sweep.add(f"fanout_contention/x{width}", SCENARIO,
+                  scenario=fanout_contention(uplink_width=width).to_dict())
+    for name, builder in sorted(SCENARIOS.items()):
+        if name == "fanout_contention":
+            continue  # swept above at three widths
+        sweep.add(name, SCENARIO, scenario=builder().to_dict())
+    return sweep
+
+
 def device_level_sweep() -> Sweep:
     """Section VI-B in-text: device-level sector throughput, Gen 2 x1."""
     sweep = Sweep("device_level")
@@ -201,4 +238,5 @@ SWEEPS = {
     "device_level": device_level_sweep,
     "stress": stress_sweep,
     "deep_hierarchy": deep_hierarchy_sweep,
+    "traffic": traffic_sweep,
 }

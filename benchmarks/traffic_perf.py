@@ -1,0 +1,142 @@
+"""Traffic-engine performance benchmark (``BENCH_traffic.json``).
+
+The multi-flow traffic engine multiplies the per-event work of a run:
+several initiators share the fabric, every uplink arbitrates, and each
+flow samples its own latency quantiles.  This suite watches the wall
+clock of one representative scenario — ``fanout_contention`` with four
+dd readers behind one Gen 2 x1 uplink — so that future changes to the
+engine, the scheduler, or the fabric cannot silently make multi-flow
+simulation slow.
+
+The artifact mirrors :mod:`benchmarks.core_perf`: a ``before``/
+``after`` phase pair, a frozen-calibration-normalised wall clock
+(``traffic_norm``) that `tools/check_bench_regression.py` bounds via
+``benchmarks/traffic_perf_thresholds.json``, and a checker-armed run
+whose simulated results must be identical to the unchecked run::
+
+    python -m benchmarks.traffic_perf --phase after --quick
+    python tools/check_bench_regression.py \
+        benchmarks/results/BENCH_traffic.json \
+        benchmarks/traffic_perf_thresholds.json
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from benchmarks.core_perf import calibration_workload, load_bench
+from repro.workloads.scenarios import fanout_contention, run_scenario
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+BENCH_TRAFFIC_PATH = os.path.join(RESULTS_DIR, "BENCH_traffic.json")
+
+SCHEMA = "repro-bench-traffic/1"
+
+#: The benchmark scenario: the library's contention workhorse, slightly
+#: enlarged so the measured region is dominated by steady-state flow
+#: traffic rather than boot and driver probe.
+BENCH_REQUESTS = 12
+BENCH_BLOCK_BYTES = 8192
+
+
+def _bench_scenario():
+    """The fixed scenario every phase of this benchmark runs."""
+    return fanout_contention(requests=BENCH_REQUESTS,
+                             block_bytes=BENCH_BLOCK_BYTES)
+
+
+def bench_traffic(best_of: int = 3, check: bool = False) -> Dict[str, Any]:
+    """Best-of-N wall clock of the 4-flow fanout_contention scenario."""
+    runs: List[float] = []
+    results = None
+    for __ in range(best_of):
+        start = time.perf_counter()
+        system, engine = run_scenario(_bench_scenario(), check=check)
+        runs.append(round(time.perf_counter() - start, 4))
+        results = engine.results()
+        if not results["completed"]:
+            raise RuntimeError("traffic benchmark scenario did not finish")
+        if check and system.sim.checker.violations:
+            raise RuntimeError(
+                f"checker-armed benchmark run violated invariants: "
+                f"{sorted({v.rule for v in system.sim.checker.violations})}")
+    return {"wall_s": min(runs), "runs_s": runs,
+            "total_gbps": round(results["total_gbps"], 6),
+            "fairness_index": round(results["fairness_index"], 6)}
+
+
+def run_suite(quick: bool = False, skip_checked: bool = False) -> Dict[str, Any]:
+    """Run the benchmark; return one phase block for BENCH_traffic.json."""
+    calib = min(calibration_workload() for __ in range(2 if quick else 3))
+    traffic = bench_traffic(best_of=2 if quick else 3)
+    block: Dict[str, Any] = {
+        "calibration_s": round(calib, 4),
+        "traffic_wall_s": traffic["wall_s"],
+        "traffic_runs_s": traffic["runs_s"],
+        "traffic_total_gbps": traffic["total_gbps"],
+        "traffic_fairness_index": traffic["fairness_index"],
+        # Machine-normalised: wall clock in units of the calibration
+        # loop.  This is what the CI threshold bounds.
+        "traffic_norm": round(traffic["wall_s"] / calib, 3),
+        "python": platform.python_version(),
+    }
+    if not skip_checked:
+        checked = bench_traffic(best_of=1, check=True)
+        block["traffic_checked_wall_s"] = checked["wall_s"]
+        if checked["total_gbps"] != traffic["total_gbps"]:
+            raise RuntimeError(
+                "checker-armed run changed simulated throughput: "
+                f"{checked['total_gbps']} != {traffic['total_gbps']}")
+    return block
+
+
+def write_bench(phase_block: Dict[str, Any], phase: str,
+                path: str = BENCH_TRAFFIC_PATH) -> Dict[str, Any]:
+    """Merge one phase into the artifact at ``path`` and rewrite it."""
+    doc = load_bench(path)
+    doc["schema"] = SCHEMA
+    doc[phase] = phase_block
+    doc["timestamp"] = round(time.time(), 3)
+    before, after = doc.get("before"), doc.get("after")
+    if before and after and before.get("traffic_wall_s") \
+            and after.get("traffic_wall_s"):
+        doc["speedup"] = {"traffic": round(
+            before["traffic_wall_s"] / after["traffic_wall_s"], 3)}
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: run the suite and merge one phase block into the artifact."""
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.traffic_perf",
+        description="Multi-flow traffic-engine wall-clock benchmark.")
+    parser.add_argument("--phase", choices=("before", "after"),
+                        default="after",
+                        help="which block of BENCH_traffic.json to write "
+                             "(default: after)")
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repeats (CI)")
+    parser.add_argument("--skip-checked", action="store_true",
+                        help="skip the checker-armed run")
+    parser.add_argument("--output", default=BENCH_TRAFFIC_PATH,
+                        metavar="PATH",
+                        help=f"artifact path (default: {BENCH_TRAFFIC_PATH})")
+    args = parser.parse_args(argv)
+
+    block = run_suite(quick=args.quick, skip_checked=args.skip_checked)
+    doc = write_bench(block, args.phase, args.output)
+    print(json.dumps(doc.get("speedup", block), indent=2, sort_keys=True))
+    print(f"wrote {args.phase!r} phase: {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

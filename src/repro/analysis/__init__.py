@@ -1,5 +1,8 @@
 """Result extraction and reporting helpers for the benchmarks."""
 
-from repro.analysis.report import Series, Table, format_table, link_replay_stats
+from repro.analysis.report import (Series, Table, flow_table, format_table,
+                                   jain_fairness, link_replay_stats,
+                                   percentile)
 
-__all__ = ["Series", "Table", "format_table", "link_replay_stats"]
+__all__ = ["Series", "Table", "flow_table", "format_table", "jain_fairness",
+           "link_replay_stats", "percentile"]

@@ -12,7 +12,10 @@ switch port buffers — and :func:`reconcile_trace_with_link` checks the
 trace-derived event counts against a live link's statistics.
 """
 
+import math
 from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.workloads.traffic import jain_fairness  # noqa: F401 (re-export)
 
 
 class Series:
@@ -127,7 +130,11 @@ def trace_latency_breakdown(
       retransmissions of already-delivered TLPs, or in-flight at trace
       end);
     * ``event_counts`` — per-component counters of the link events the
-      statistics track, for reconciliation.
+      statistics track, for reconciliation;
+    * ``engine_residency`` — per-component queueing summary
+      (``count``/``ticks``/``max``) of the engine residencies, so the
+      queueing delay at a shared uplink's ports reads directly off the
+      trace.
     """
     if isinstance(trace, str) or (trace and isinstance(trace, list)
                                   and isinstance(trace[0], str)):
@@ -144,6 +151,7 @@ def trace_latency_breakdown(
     # Open link traversals / engine residencies, keyed by TLP identity.
     open_tx: Dict[str, dict] = {}
     open_ingress: Dict[tuple, int] = {}
+    residency: Dict[str, Dict[str, int]] = {}
     unresolved = 0
 
     def record(key: str) -> dict:
@@ -219,6 +227,11 @@ def trace_latency_breakdown(
                 if start is not None:
                     key = _tlp_key(event["tlp"], event.get("resp", False))
                     record(key)["engine_ticks"] += t - start
+                    summary = residency.setdefault(
+                        comp, {"count": 0, "ticks": 0, "max": 0})
+                    summary["count"] += 1
+                    summary["ticks"] += t - start
+                    summary["max"] = max(summary["max"], t - start)
 
     unresolved = len(open_tx) + len(open_ingress)
     totals = {
@@ -238,6 +251,7 @@ def trace_latency_breakdown(
         "tlps": tlps,
         "totals": totals,
         "event_counts": counts,
+        "engine_residency": residency,
     }
 
 
@@ -284,6 +298,40 @@ def format_latency_breakdown(breakdown: dict) -> str:
         f"unresolved        : {totals['unresolved']}",
     ]
     return "\n".join(lines)
+
+
+def percentile(samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over ``samples`` (0.0 when empty) — the
+    same definition :class:`repro.sim.stats.Quantiles` uses, for ad-hoc
+    analysis of raw sample lists."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(max(1, math.ceil(fraction * len(ordered))), len(ordered))
+    return ordered[rank - 1]
+
+
+def flow_table(results: dict) -> Table:
+    """Render a traffic engine's :meth:`results
+    <repro.workloads.traffic.TrafficEngine.results>` as a per-flow
+    :class:`Table` (one row per flow, throughput/share/tails as
+    columns)."""
+    table = Table("per-flow traffic", "flow", "throughput and tail latency")
+    columns = {
+        "gbps": "throughput_gbps",
+        "share": "share",
+        "p50_us": "p50_ns",
+        "p99_us": "p99_ns",
+        "p999_us": "p999_ns",
+    }
+    series = {label: table.new_series(label) for label in columns}
+    for name, record in sorted(results["flows"].items()):
+        for label, field in columns.items():
+            value = record[field]
+            if label.endswith("_us"):
+                value = value / 1000.0
+            series[label].add(name, value)
+    return table
 
 
 def link_replay_stats(link) -> Dict[str, float]:

@@ -9,12 +9,16 @@
   no posted writes: a sector's DMA must be fully acknowledged before the
   next begins);
 * :mod:`repro.devices.nic` — the 8254x-pcie NIC model with the paper's
-  capability chain (PM → MSI → PCIe → MSI-X, all but PCIe disabled).
+  capability chain (PM → MSI → PCIe → MSI-X, all but PCIe disabled);
+* :mod:`repro.devices.accel` — a memory-to-memory DMA copy accelerator
+  built on the chunking engine (the ``"accel"`` device kind).
 """
 
+from repro.devices.accel import DmaAccelerator
 from repro.devices.base import PcieDevice
 from repro.devices.dma import DmaEngine
 from repro.devices.disk import IdeDisk
 from repro.devices.nic import Nic8254xPcie
 
-__all__ = ["PcieDevice", "DmaEngine", "IdeDisk", "Nic8254xPcie"]
+__all__ = ["PcieDevice", "DmaEngine", "DmaAccelerator", "IdeDisk",
+           "Nic8254xPcie"]

@@ -1,0 +1,164 @@
+"""A memory-to-memory DMA copy accelerator.
+
+The third device kind of the registry (``"accel"``), built around the
+chunking :class:`~repro.devices.dma.DmaEngine` front-end: a copy
+command DMA-reads the source buffer out of DRAM chunk by chunk, then
+DMA-writes it back to the destination — two full traversals of the
+PCI-Express fabric per copied byte, which is what makes the device an
+interesting *initiator* for multi-flow contention studies (it loads a
+link in both directions without any disk/NIC protocol on top).
+
+The register interface (BAR0, 4 KB MMIO) mirrors the IDE-like disk's
+bus-master style:
+
+====== ===========  =================================================
+offset name         meaning
+====== ===========  =================================================
+0x00   CMD          1 = COPY (starts the transfer)
+0x08   SRC          physical source address
+0x10   DST          physical destination address
+0x18   NBYTES       bytes to copy
+0x20   STATUS       bit0 busy, bit1 irq pending, bit2 error
+0x28   IRQ_CLEAR    write 1 to acknowledge the interrupt
+====== ===========  =================================================
+"""
+
+from typing import Dict, Optional
+
+from repro.devices.base import PcieDevice
+from repro.devices.dma import DmaEngine
+from repro.pci.capabilities import (
+    MsiCapability,
+    MsixCapability,
+    PcieCapability,
+    PciePortType,
+    PowerManagementCapability,
+)
+from repro.pci.header import Bar, PciEndpointFunction
+from repro.sim import ticks
+from repro.sim.simobject import SimObject, Simulator
+
+REG_CMD = 0x00
+REG_SRC = 0x08
+REG_DST = 0x10
+REG_NBYTES = 0x18
+REG_STATUS = 0x20
+REG_IRQ_CLEAR = 0x28
+
+CMD_COPY = 1
+
+STATUS_BUSY = 1 << 0
+STATUS_IRQ = 1 << 1
+STATUS_ERROR = 1 << 2
+
+ACCEL_VENDOR_ID = 0x1DE5  # Eideticom, a real PCIe NVMe-accelerator vendor
+ACCEL_DEVICE_ID = 0x3000
+
+
+def make_accel_function(msi_functional: bool = False) -> PciEndpointFunction:
+    """Config function for the accelerator: one 4 KB memory BAR and the
+    same PM → MSI → PCIe → MSI-X capability chain as the other devices
+    (pass ``msi_functional=True`` for the MSI extension)."""
+    fn = PciEndpointFunction(
+        ACCEL_VENDOR_ID,
+        ACCEL_DEVICE_ID,
+        bars=[Bar(4096)],
+        class_code=0x120000,  # processing accelerator
+    )
+    fn.add_capability(PowerManagementCapability())
+    fn.add_capability(MsiCapability(functional=msi_functional))
+    fn.add_capability(PcieCapability(PciePortType.ENDPOINT))
+    fn.add_capability(MsixCapability())
+    return fn
+
+
+class DmaAccelerator(PcieDevice):
+    """The copy accelerator; see module docstring.
+
+    Args:
+        setup_latency: fixed command-decode latency before the first
+            DMA packet of a copy is issued.
+        chunk: DMA packet payload size (cache line, 64 B).
+        dma_outstanding: in-flight DMA packets within one direction.
+        posted_writes: run the write-back half posted (fire-and-forget)
+            instead of waiting for every write response.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "accel",
+        parent: Optional[SimObject] = None,
+        setup_latency: int = ticks.from_ns(200),
+        chunk: int = 64,
+        dma_outstanding: int = 32,
+        posted_writes: bool = False,
+        pio_latency: int = ticks.from_ns(30),
+        msi_functional: bool = False,
+    ):
+        super().__init__(sim, name, make_accel_function(msi_functional),
+                         parent, pio_latency=pio_latency)
+        self.setup_latency = setup_latency
+        self.posted_writes = posted_writes
+        self.dma = DmaEngine(sim, "dma_engine", self, chunk=chunk,
+                             max_outstanding=dma_outstanding)
+
+        # Register file.
+        self._regs: Dict[int, int] = {
+            REG_CMD: 0, REG_SRC: 0, REG_DST: 0, REG_NBYTES: 0, REG_STATUS: 0,
+        }
+
+        self.copies_completed = self.stats.scalar("copies_completed")
+        self.bytes_copied = self.stats.scalar(
+            "bytes_copied", "logical bytes copied (fabric traffic is 2x)")
+        self.copy_ticks = self.stats.distribution(
+            "copy_ticks", "command write to completion interrupt, per copy")
+
+    # -- register interface --------------------------------------------------
+    def mmio_read(self, bar: int, offset: int, size: int) -> int:
+        return self._regs.get(offset, 0)
+
+    def mmio_write(self, bar: int, offset: int, size: int, value: int) -> None:
+        if offset == REG_IRQ_CLEAR:
+            self._regs[REG_STATUS] &= ~STATUS_IRQ
+            return
+        if offset == REG_CMD:
+            self._start_command(value)
+            return
+        if offset in self._regs:
+            self._regs[offset] = value
+
+    # -- command execution ---------------------------------------------------
+    def _start_command(self, command: int) -> None:
+        if self._regs[REG_STATUS] & STATUS_BUSY:
+            self._regs[REG_STATUS] |= STATUS_ERROR
+            return
+        if command != CMD_COPY or self._regs[REG_NBYTES] < 1:
+            self._regs[REG_STATUS] |= STATUS_ERROR
+            self.raise_interrupt()
+            return
+        self._regs[REG_STATUS] = STATUS_BUSY
+        self._start_tick = self.curtick
+        self.schedule(self.setup_latency, self._read_source,
+                      name="copy_setup")
+
+    def _read_source(self) -> None:
+        transfer = self.dma.read(self._regs[REG_SRC], self._regs[REG_NBYTES])
+        transfer.on_complete(lambda __: self._write_destination())
+
+    def _write_destination(self) -> None:
+        transfer = self.dma.write(self._regs[REG_DST], self._regs[REG_NBYTES],
+                                  posted=self.posted_writes)
+        transfer.on_complete(lambda __: self._complete_command())
+
+    def _complete_command(self) -> None:
+        self.copy_ticks.sample(self.curtick - self._start_tick)
+        self.copies_completed.inc()
+        self.bytes_copied.inc(self._regs[REG_NBYTES])
+        self._regs[REG_STATUS] = STATUS_IRQ  # busy clear, irq pending
+        self.raise_interrupt()
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return bool(self._regs[REG_STATUS] & STATUS_BUSY)

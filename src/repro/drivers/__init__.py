@@ -8,8 +8,10 @@ only through timed MMIO — so driver overhead shows up in measured I/O
 latency the way it does on the paper's simulated machine.
 """
 
+from repro.drivers.accel import DmaAccelDriver
 from repro.drivers.base import Driver, DriverError
 from repro.drivers.ide import IdeDiskDriver
 from repro.drivers.e1000e import E1000eDriver
 
-__all__ = ["Driver", "DriverError", "IdeDiskDriver", "E1000eDriver"]
+__all__ = ["Driver", "DriverError", "DmaAccelDriver", "IdeDiskDriver",
+           "E1000eDriver"]

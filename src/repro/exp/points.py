@@ -26,8 +26,10 @@ from repro.system.topology import (
 )
 from repro.workloads.dd import DdWorkload
 from repro.workloads.mmio import MmioReadBench
+from repro.workloads.scenarios import Scenario, run_scenario
 
-__all__ = ["dd_point", "mmio_point", "classic_pci_point", "stress_point"]
+__all__ = ["dd_point", "mmio_point", "classic_pci_point", "stress_point",
+           "scenario_point"]
 
 #: Guard against wedged simulations when a point runs unattended in a
 #: worker process; matches the benchmark harness's historical bound.
@@ -233,3 +235,40 @@ def stress_point(block_bytes: int, error_rate: float,
         "tlps_corrupted": sum(i.corrupted.value() for i in ifaces),
         "dllps_corrupted": sum(i.dllp_corrupted.value() for i in ifaces),
     }
+
+
+def scenario_point(scenario: Dict[str, Any],
+                   check: Optional[bool] = None) -> Dict[str, Any]:
+    """Run one multi-flow traffic scenario as a sweep point.
+
+    Args:
+        scenario: a :meth:`repro.workloads.scenarios.Scenario.to_dict`
+            document (topology + flows).  The whole document lands in
+            the point's parameters, so the result cache keys on the
+            canonical serialisation of the exact experiment.
+        check: arm the invariant checker in record mode (None defers to
+            ``REPRO_CHECK``; the harness's ``--check`` sets True).
+
+    Returns:
+        ``completed``/``violations`` (the stress-gate pair), the
+        Jain's-fairness-index and total throughput, plus per-flow
+        ``<flow>_gbps``/``<flow>_share``/``<flow>_p99_ns``/
+        ``<flow>_bytes`` flattened for table rendering.
+    """
+    system, engine = run_scenario(Scenario.from_dict(scenario), check=check,
+                                  max_events=_MAX_EVENTS)
+    results = engine.results()
+    out: Dict[str, Any] = {
+        "completed": 1.0 if results["completed"] else 0.0,
+        "violations": float(len(system.sim.checker.violations)),
+        "violated_rules": sorted(
+            {v.rule for v in system.sim.checker.violations}),
+        "fairness_index": results["fairness_index"],
+        "total_gbps": results["total_gbps"],
+    }
+    for name, record in results["flows"].items():
+        out[f"{name}_gbps"] = record["throughput_gbps"]
+        out[f"{name}_share"] = record["share"]
+        out[f"{name}_p99_ns"] = record["p99_ns"]
+        out[f"{name}_bytes"] = record["bytes"]
+    return out

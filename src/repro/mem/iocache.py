@@ -165,6 +165,17 @@ class IOCache(SimObject):
             self.allocations.inc()
             self._trace_access(pkt, "write_alloc")
             return self._respond_to_write(pkt, self.hit_latency)
+        # Posted partial write (an MSI message): forward and forget.
+        # Nothing will ever acknowledge it, so holding an MSHR would
+        # leak the slot and wedge all DMA after ``mshrs`` interrupts.
+        if not pkt.needs_response:
+            if self._mem_queue.full:
+                return False
+            self.misses.inc()
+            self._trace_access(pkt, "write_through")
+            pushed = self._mem_queue.push(pkt, self.lookup_latency)
+            assert pushed
+            return True
         # Partial write: write-through, respond on memory's ack.
         if len(self._outstanding) >= self.mshrs or self._mem_queue.full:
             return False

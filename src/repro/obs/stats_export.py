@@ -13,7 +13,8 @@ to interpret a stats file without the run that produced it.
 import json
 from typing import Dict, Optional
 
-from repro.sim.stats import Average, Distribution, Formula, Scalar, Stat
+from repro.sim.stats import (Average, Distribution, Formula, Quantiles,
+                             Scalar, Stat)
 
 #: Versioning policy mirrors the trace schema: additive keys keep the
 #: version; renames, removals and semantic changes bump it.
@@ -33,6 +34,16 @@ def _stat_record(stat: Stat) -> dict:
             stddev=stat.stddev,
             min=stat.minimum if stat.minimum is not None else 0,
             max=stat.maximum if stat.maximum is not None else 0,
+        )
+    elif isinstance(stat, Quantiles):
+        record["type"] = "quantiles"
+        record.update(
+            count=stat.count,
+            mean=stat.mean,
+            min=stat.minimum if stat.minimum is not None else 0,
+            max=stat.maximum if stat.maximum is not None else 0,
+            percentiles={label: stat.percentile(fraction)
+                         for label, fraction in stat.points},
         )
     elif isinstance(stat, Average):
         record["type"] = "average"

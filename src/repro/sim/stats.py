@@ -8,12 +8,14 @@ kinds cover everything the library needs:
 * :class:`Average` — running mean of samples (queue occupancy).
 * :class:`Distribution` — min/max/mean/stddev plus sample count
   (latency distributions).
+* :class:`Quantiles` — exact percentiles from retained samples
+  (tail latencies: p50/p99/p999 of per-request times).
 * :class:`Formula` — a value computed from other stats at dump time
   (throughput = bytes / seconds).
 """
 
 import math
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 Number = Union[int, float]
 
@@ -169,6 +171,85 @@ class Distribution(Stat):
         }
 
 
+#: Default percentile points of a :class:`Quantiles` stat: the tail
+#: percentiles fairness analysis reports (``p999`` = 99.9th).
+QUANTILE_POINTS: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p99", 0.99), ("p999", 0.999),
+)
+
+
+class Quantiles(Stat):
+    """Exact percentiles over every retained sample.
+
+    Tail percentiles cannot be recovered from streaming moments, so
+    this stat keeps its samples — use it for *bounded* sample counts
+    (per-request latencies of a flow), never per-packet event streams.
+    Percentiles use the nearest-rank definition on the sorted samples,
+    which is exact, deterministic, and never interpolates a value that
+    was not observed.
+    """
+
+    def __init__(self, name: str, desc: str = "",
+                 points: Sequence[Tuple[str, float]] = QUANTILE_POINTS):
+        super().__init__(name, desc)
+        self.points: Tuple[Tuple[str, float], ...] = tuple(points)
+        for label, fraction in self.points:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(
+                    f"quantile {label!r}: fraction {fraction} outside (0, 1]")
+        self._samples: List[Number] = []
+
+    def sample(self, value: Number) -> None:
+        """Retain one observation."""
+        self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples retained."""
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 before any sample)."""
+        return (sum(self._samples) / len(self._samples)
+                if self._samples else 0.0)
+
+    @property
+    def minimum(self) -> Optional[Number]:
+        """Smallest sample seen, or None before any sample."""
+        return min(self._samples) if self._samples else None
+
+    @property
+    def maximum(self) -> Optional[Number]:
+        """Largest sample seen, or None before any sample."""
+        return max(self._samples) if self._samples else None
+
+    def percentile(self, fraction: float) -> Number:
+        """Nearest-rank percentile: smallest sample with at least
+        ``fraction`` of the samples at or below it (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(max(1, math.ceil(fraction * len(ordered))), len(ordered))
+        return ordered[rank - 1]
+
+    def value(self) -> Number:
+        """Headline value: the median."""
+        return self.percentile(0.5)
+
+    def reset(self) -> None:
+        """Discard all samples."""
+        self._samples = []
+
+    def dump(self) -> Dict[str, Number]:
+        """Count, mean, configured percentiles and max, ``::``-keyed."""
+        out: Dict[str, Number] = {"::count": self.count, "::mean": self.mean}
+        for label, fraction in self.points:
+            out[f"::{label}"] = self.percentile(fraction)
+        out["::max"] = self.maximum if self.maximum is not None else 0
+        return out
+
+
 class Formula(Stat):
     """A stat computed on demand from a callable (usually a lambda
     closing over other stats)."""
@@ -214,6 +295,11 @@ class StatGroup:
     def distribution(self, name: str, desc: str = "") -> Distribution:
         """Create and register a :class:`Distribution`."""
         return self.add(Distribution(name, desc))  # type: ignore[return-value]
+
+    def quantiles(self, name: str, desc: str = "",
+                  points: Sequence[Tuple[str, float]] = QUANTILE_POINTS) -> Quantiles:
+        """Create and register a :class:`Quantiles`."""
+        return self.add(Quantiles(name, desc, points))  # type: ignore[return-value]
 
     def formula(self, name: str, func: Callable[[], Number], desc: str = "") -> Formula:
         """Create and register a :class:`Formula` over ``func``."""

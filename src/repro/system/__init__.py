@@ -15,6 +15,7 @@ from repro.system.spec import (
     validation_spec,
 )
 from repro.system.topology import (
+    AmbiguousDeviceError,
     PcieSystem,
     build_system,
     build_validation_system,
@@ -24,6 +25,7 @@ from repro.system.topology import (
 )
 
 __all__ = [
+    "AmbiguousDeviceError",
     "PcieSystem",
     "build_system",
     "build_validation_system",

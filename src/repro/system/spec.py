@@ -31,7 +31,7 @@ The grammar (see ARCHITECTURE.md "Topology" for a walked example)::
                                  buffer_size, service_interval,
                                  datapath_scope, num_ports,
                                  children: [Node...] }
-                  | DeviceSpec { kind: "disk"|"nic", name,
+                  | DeviceSpec { kind: "disk"|"nic"|"accel", name,
                                  link: LinkSpec, params: {...} }
 
 Every node hangs off its parent (a root port, or a switch downstream
@@ -75,7 +75,7 @@ __all__ = [
 #: Device kinds a :class:`DeviceSpec` may name.  The model/driver
 #: classes behind each kind live in :data:`repro.system.topology.DEVICE_KINDS`
 #: (the spec layer stays pure data and imports no models).
-DEVICE_KIND_NAMES = ("disk", "nic")
+DEVICE_KIND_NAMES = ("disk", "nic", "accel")
 
 #: PCIe generation names accepted by :class:`LinkSpec` (the
 #: :class:`repro.pcie.timing.PcieGen` members).
@@ -185,8 +185,9 @@ class DeviceSpec:
     """One endpoint device hanging off a root port or switch port.
 
     Args:
-        kind: ``"disk"`` (the IDE-like storage device) or ``"nic"``
-            (the 8254x-pcie NIC).
+        kind: ``"disk"`` (the IDE-like storage device), ``"nic"``
+            (the 8254x-pcie NIC) or ``"accel"`` (the DMA copy
+            accelerator).
         name: unique instance name; auto-assigned (``disk0``, ``nic0``,
             ...) when omitted.
         link: the :class:`LinkSpec` of the edge to the parent port

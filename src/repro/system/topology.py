@@ -28,8 +28,10 @@ knobs is a keyword argument because the paper's Figure 9 sweeps them.
 import warnings
 from typing import Dict, List, Optional, Union
 
+from repro.devices.accel import DmaAccelerator
 from repro.devices.disk import IdeDisk
 from repro.devices.nic import Nic8254xPcie
+from repro.drivers.accel import DmaAccelDriver
 from repro.drivers.e1000e import E1000eDriver
 from repro.drivers.ide import IdeDiskDriver
 from repro.kernel.kernel import KernelConfig, OsKernel
@@ -56,7 +58,15 @@ from repro.system.spec import (ClassicPciSpec, DeviceSpec, LinkSpec, SpecError,
 DEVICE_KINDS = {
     "disk": (IdeDisk, IdeDiskDriver),
     "nic": (Nic8254xPcie, E1000eDriver),
+    "accel": (DmaAccelerator, DmaAccelDriver),
 }
+
+
+class AmbiguousDeviceError(LookupError):
+    """A singular convenience (``system.disk``, ``system.nic``, ...)
+    was used on a fabric with several devices of that kind — name the
+    one you mean via ``system.devices[name]`` / ``system.drivers[name]``
+    (or ``device=`` in sweep points)."""
 
 
 class _DeviceMap(dict):
@@ -129,10 +139,20 @@ class PcieSystem:
         self.found_devices = []
 
     # -- conveniences -------------------------------------------------------
-    def _sole_device(self, cls):
-        """The unique device instance of ``cls``, or None if 0 or 2+."""
-        found = [d for d in self.devices.values() if isinstance(d, cls)]
-        return found[0] if len(found) == 1 else None
+    def _sole_device(self, cls, kind: str):
+        """The unique device instance of ``cls`` — None when the fabric
+        has no such device, :class:`AmbiguousDeviceError` when it has
+        several (silently picking one would misdirect every stat and
+        request that follows)."""
+        found = sorted(
+            (name for name, d in self.devices.items() if isinstance(d, cls)))
+        if len(found) > 1:
+            raise AmbiguousDeviceError(
+                f"system.{kind} is ambiguous: this fabric has "
+                f"{len(found)} {kind} devices ({', '.join(found)}); "
+                f"name the one you mean via system.devices[name] / "
+                f"system.drivers[name] (or device= in sweep points)")
+        return self.devices[found[0]] if found else None
 
     def _device_name(self, model) -> Optional[str]:
         for name, device in self.devices.items():
@@ -143,13 +163,24 @@ class PcieSystem:
     @property
     def disk(self) -> Optional[IdeDisk]:
         """The disk — by its classic ``"disk"`` name, else the sole
-        :class:`IdeDisk` instance (None when ambiguous)."""
-        return self.devices.get("disk") or self._sole_device(IdeDisk)
+        :class:`IdeDisk` instance (None when absent,
+        :class:`AmbiguousDeviceError` when there are several)."""
+        return self.devices.get("disk") or self._sole_device(IdeDisk, "disk")
 
     @property
     def nic(self) -> Optional[Nic8254xPcie]:
-        """The NIC — by name, else the sole instance (None when ambiguous)."""
-        return self.devices.get("nic") or self._sole_device(Nic8254xPcie)
+        """The NIC — by name, else the sole instance (None when absent,
+        :class:`AmbiguousDeviceError` when there are several)."""
+        return self.devices.get("nic") or self._sole_device(
+            Nic8254xPcie, "nic")
+
+    @property
+    def accel(self) -> Optional[DmaAccelerator]:
+        """The accelerator — by its ``"accel"`` name, else the sole
+        instance (None when absent, :class:`AmbiguousDeviceError` when
+        there are several)."""
+        return self.devices.get("accel") or self._sole_device(
+            DmaAccelerator, "accel")
 
     @property
     def disk_driver(self) -> Optional[IdeDiskDriver]:
@@ -162,6 +193,12 @@ class PcieSystem:
         """Driver of :attr:`nic` (None without an unambiguous NIC)."""
         nic = self.nic
         return self.drivers.get(self._device_name(nic)) if nic else None
+
+    @property
+    def accel_driver(self) -> Optional[DmaAccelDriver]:
+        """Driver of :attr:`accel` (None without an unambiguous accel)."""
+        accel = self.accel
+        return self.drivers.get(self._device_name(accel)) if accel else None
 
     @property
     def disk_link(self) -> Optional[PcieLink]:

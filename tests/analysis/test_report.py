@@ -159,3 +159,58 @@ def test_format_latency_breakdown_is_one_screen():
     assert "TLP latency breakdown" in text
     assert "replay/recovery : 200 ticks" in text
     assert len(text.splitlines()) <= 10
+
+
+# ---------------------------------------------------------------------------
+# Flow-level helpers (traffic engine reporting).
+# ---------------------------------------------------------------------------
+
+def test_engine_residency_summarises_port_queueing():
+    from repro.analysis.report import trace_latency_breakdown
+
+    breakdown = trace_latency_breakdown(synthetic_trace())
+    residency = breakdown["engine_residency"]
+    assert residency == {"rc.up": {"count": 1, "ticks": 50, "max": 50}}
+
+
+def test_percentile_nearest_rank():
+    from repro.analysis.report import percentile
+
+    samples = list(range(1, 101))  # 1..100
+    assert percentile(samples, 0.50) == 50
+    assert percentile(samples, 0.99) == 99
+    assert percentile(samples, 1.0) == 100
+    assert percentile([7], 0.999) == 7
+    assert percentile([], 0.5) == 0.0
+
+
+def test_jain_fairness_reexported_from_analysis():
+    from repro.analysis import jain_fairness
+
+    assert jain_fairness([2.0, 2.0]) == 1.0
+
+
+def test_flow_table_renders_per_flow_rows():
+    from repro.analysis.report import flow_table, format_table
+
+    results = {
+        "flows": {
+            "reader1": {"throughput_gbps": 1.0, "share": 0.4,
+                        "p50_ns": 1000.0, "p99_ns": 2000.0,
+                        "p999_ns": 2500.0},
+            "reader0": {"throughput_gbps": 1.5, "share": 0.6,
+                        "p50_ns": 900.0, "p99_ns": 1800.0,
+                        "p999_ns": 2400.0},
+        },
+        "fairness_index": 0.96,
+        "total_gbps": 2.5,
+        "completed": True,
+    }
+    table = flow_table(results)
+    text = format_table(table)
+    lines = text.splitlines()
+    # Rows are sorted by flow name; latency columns are microseconds.
+    assert lines[3].split()[0] == "reader0"
+    assert lines[4].split()[0] == "reader1"
+    assert "gbps" in lines[1] and "p99_us" in lines[1]
+    assert "2.000" in text  # reader1 p99: 2000 ns -> 2.000 us

@@ -29,9 +29,11 @@ SAMPLED_KEYS = (
 
 def test_grid_shape_and_params_are_json_safe():
     sweep = stress_sweep()
-    expected = (len(STRESS_ERROR_RATES) * len(STRESS_DLLP_ERROR_RATES)
-                * len(STRESS_REPLAY_BUFFERS) * len(STRESS_INPUT_QUEUES))
-    assert len(sweep) == expected == 36
+    grid = (len(STRESS_ERROR_RATES) * len(STRESS_DLLP_ERROR_RATES)
+            * len(STRESS_REPLAY_BUFFERS) * len(STRESS_INPUT_QUEUES))
+    # The full grid plus the checker-armed multi-flow scenario point.
+    assert len(sweep) == grid + 1 == 37
+    assert "multiflow/er0.02" in {p.key for p in sweep.points}
     # SweepPoint construction already validated canonical-JSON-safety;
     # spot-check the campaign's swept knobs are all present.
     point = sweep.points[0]

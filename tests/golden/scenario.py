@@ -7,26 +7,34 @@ change to event ordering, link timing, replay policy or the trace
 vocabulary flips the byte comparison red, which is the point: such
 changes must be deliberate, reviewed, and followed by ``regen.py``.
 
-Both scenarios drive a 4 KiB ``dd`` read through the paper's validation
-topology narrowed to Gen 2 x1 links; the second also injects
-``error_rate=0.2`` to pin the NAK/replay machinery.  Traces restrict to
-the ``link``/``engine`` categories — the TLP lifecycle — so the files
-stay reviewable (a few thousand events each).
+The ``dd`` scenarios drive a 4 KiB ``dd`` read through the paper's
+validation topology narrowed to Gen 2 x1 links; ``dd_gen2x1_err`` also
+injects ``error_rate=0.2`` to pin the NAK/replay machinery.  The
+``traffic`` scenario (``two_flow_fanout``) runs two concurrent dd
+readers behind one shared uplink through the multi-flow traffic
+engine, pinning the deterministic interleaving of concurrent
+initiators.  Traces restrict to the ``link``/``engine`` categories —
+the TLP lifecycle — so the files stay reviewable (a few thousand
+events each).
 """
 
 import os
 
 from repro.obs.trace import MemorySink
 from repro.system.topology import build_validation_system
+from repro.workloads import scenarios as scenario_lib
 from repro.workloads.dd import DdWorkload
 
 GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
 
-#: name -> (golden file, scenario kwargs).  The meta recorded in the
-#: header is exactly these kwargs, so a golden file says what made it.
+#: name -> scenario kwargs (plus an optional ``kind`` selecting the
+#: runner: ``"dd"`` is the single-flow validation run, ``"traffic"``
+#: the multi-flow engine).  The meta recorded in the header is exactly
+#: these kwargs, so a golden file says what made it.
 SCENARIOS = {
     "dd_gen2x1": {"error_rate": 0.0},
     "dd_gen2x1_err": {"error_rate": 0.2},
+    "two_flow_fanout": {"kind": "traffic", "error_rate": 0.0},
 }
 
 BLOCK_BYTES = 4096
@@ -37,15 +45,10 @@ def golden_path(name: str) -> str:
     return os.path.join(GOLDEN_DIR, f"{name}.jsonl")
 
 
-def run_scenario(name: str, **overrides) -> str:
-    """Run one golden scenario from a fresh Simulator; return the trace
-    as the exact JSONL text a golden file holds."""
-    kwargs = dict(SCENARIOS[name])
-    kwargs.update(overrides)
-    error_rate = kwargs.pop("error_rate")
+def _run_dd(name: str, error_rate: float, **overrides) -> str:
     system = build_validation_system(
         root_link_width=1, device_link_width=1, error_rate=error_rate,
-        **kwargs,
+        **overrides,
     )
     sink = MemorySink()
     system.sim.tracer.categories = frozenset(TRACE_CATEGORIES)
@@ -59,3 +62,29 @@ def run_scenario(name: str, **overrides) -> str:
             "error_rate": error_rate,
             "categories": sorted(TRACE_CATEGORIES)}
     return sink.to_jsonl(meta=meta)
+
+
+def _run_traffic(name: str, error_rate: float, **overrides) -> str:
+    scenario = scenario_lib.fanout_contention(
+        fanout=2, requests=1, block_bytes=BLOCK_BYTES,
+        error_rate=error_rate, **overrides,
+    )
+    sink = MemorySink()
+    system, engine = scenario_lib.run_scenario(
+        scenario, sink=sink, categories=TRACE_CATEGORIES)
+    assert engine.completed, f"golden scenario {name!r} did not finish"
+    meta = {"scenario": name, "block_bytes": BLOCK_BYTES,
+            "error_rate": error_rate, "flows": len(scenario.flows),
+            "categories": sorted(TRACE_CATEGORIES)}
+    return sink.to_jsonl(meta=meta)
+
+
+def run_scenario(name: str, **overrides) -> str:
+    """Run one golden scenario from a fresh Simulator; return the trace
+    as the exact JSONL text a golden file holds."""
+    kwargs = dict(SCENARIOS[name])
+    kwargs.update(overrides)
+    kind = kwargs.pop("kind", "dd")
+    error_rate = kwargs.pop("error_rate")
+    runner = _run_traffic if kind == "traffic" else _run_dd
+    return runner(name, error_rate, **kwargs)

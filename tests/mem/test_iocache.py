@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mem.iocache import IOCache
-from repro.mem.packet import MemCmd
+from repro.mem.packet import MemCmd, Packet
 from repro.sim import ticks
 from repro.sim.simobject import Simulator
 
@@ -111,3 +111,24 @@ def test_sustained_dma_write_stream_all_completes():
     # A 1 KiB cache cannot hold 4 KiB of writes: most lines were evicted
     # dirty and written back.
     assert cache.writebacks.value() >= 40
+
+
+def test_posted_partial_writes_never_hold_mshrs():
+    # MSI messages are partial posted writes: memory never acknowledges
+    # them, so holding an MSHR per message would leak the slot and
+    # refuse all DMA after ``mshrs`` interrupts (the irq_storm wedge).
+    sim = Simulator()
+    cache, master, mem = build(sim, mshrs=4)
+    for i in range(3 * cache.mshrs):
+        pkt = Packet(MemCmd.MESSAGE, 0x10000000, 4, data=bytes(4),
+                     requestor=master.full_name, create_tick=sim.curtick)
+        master._queue.push(pkt, 0)
+    sim.run()
+    # Every message reached memory; none is parked awaiting an ack.
+    messages = [p for p in mem.requests if p.cmd == MemCmd.MESSAGE]
+    assert len(messages) == 3 * cache.mshrs
+    assert len(cache._outstanding) == 0
+    # The cache still serves reads afterwards — no wedged MSHRs.
+    master.read(0x1000, 64)
+    sim.run()
+    assert len(master.responses) == 1

@@ -1,0 +1,98 @@
+"""Property-based tests of the traffic engine's conservation laws.
+
+Hypothesis draws small randomized scenario specs and checks the
+invariants no flow shape may break: every issued request completes
+exactly once, per-flow byte counts match the flow definition, and the
+pure-data layer round-trips losslessly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import ticks
+from repro.system.spec import DeviceSpec, LinkSpec, SwitchSpec, TopologySpec
+from repro.system.topology import build_system
+from repro.workloads.traffic import FlowSpec, TrafficEngine
+
+SECTOR = 4096
+
+flow_shapes = st.fixed_dictionaries({
+    "kind": st.sampled_from(["dd_read", "dd_write"]),
+    "requests": st.integers(min_value=1, max_value=3),
+    "sectors": st.integers(min_value=1, max_value=2),
+    "gap_us": st.integers(min_value=0, max_value=40),
+    "jitter": st.sampled_from([0.0, 0.5]),
+    "burst": st.integers(min_value=1, max_value=3),
+    "seed": st.integers(min_value=0, max_value=2**32 - 1),
+    "start_delay_us": st.integers(min_value=0, max_value=20),
+})
+
+
+def build_fabric(n_disks):
+    # dma_outstanding is throttled as in the scenario library: the model
+    # has a single flow-control class per port (no posted/non-posted/
+    # completion credit split), so several unthrottled non-posted DMA
+    # read streams (dd_write device-side) can fill every buffer with
+    # requests and starve the completions they are waiting on.  Found
+    # by this very property test; see EXPERIMENTS.md "Known deviations".
+    disks = [
+        DeviceSpec("disk", name=f"disk{i}",
+                   link=LinkSpec(name=f"disk{i}", gen="GEN2", width=1),
+                   params={"dma_outstanding": 8})
+        for i in range(n_disks)
+    ]
+    topology = TopologySpec(children=[
+        SwitchSpec(name="switch",
+                   link=LinkSpec(name="uplink", gen="GEN2", width=2),
+                   children=disks),
+    ]).finalize()
+    return build_system(topology)
+
+
+@settings(max_examples=10, deadline=None)
+@given(shapes=st.lists(flow_shapes, min_size=1, max_size=3))
+def test_random_scenarios_conserve_requests_and_bytes(shapes):
+    system = build_fabric(len(shapes))
+    flows = [
+        FlowSpec(name=f"flow{i}", kind=shape["kind"], device=f"disk{i}",
+                 requests=shape["requests"],
+                 bytes_per_request=shape["sectors"] * SECTOR,
+                 gap=ticks.from_us(shape["gap_us"]), jitter=shape["jitter"],
+                 burst=shape["burst"], seed=shape["seed"],
+                 start_delay=ticks.from_us(shape["start_delay_us"]))
+        for i, shape in enumerate(shapes)
+    ]
+    engine = TrafficEngine(system, flows)
+    engine.start()
+    system.run(max_events=100_000_000)
+    assert engine.completed
+    results = engine.results()
+    for i, shape in enumerate(shapes):
+        record = results["flows"][f"flow{i}"]
+        # Conservation: issued == completed == spec'd, exactly once.
+        assert record["requests_issued"] == shape["requests"]
+        assert record["requests_completed"] == shape["requests"]
+        assert record["bytes"] == shape["requests"] * shape["sectors"] * SECTOR
+        # The disk moved exactly the flow's sectors — no loss, no dup.
+        disk = system.devices[f"disk{i}"]
+        assert disk.sectors_transferred.value() == \
+            shape["requests"] * shape["sectors"]
+    # Latency samples exist for every completed request.
+    dump = system.sim.dump_stats()
+    for i, shape in enumerate(shapes):
+        assert dump[f"traffic.flow{i}.request_ticks::count"] == \
+            shape["requests"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(shape=flow_shapes)
+def test_flowspec_roundtrip_property(shape):
+    spec = FlowSpec(name="f", kind=shape["kind"], device="disk0",
+                    requests=shape["requests"],
+                    bytes_per_request=shape["sectors"] * SECTOR,
+                    gap=ticks.from_us(shape["gap_us"]),
+                    jitter=shape["jitter"], burst=shape["burst"],
+                    seed=shape["seed"],
+                    start_delay=ticks.from_us(shape["start_delay_us"]))
+    spec.validate()
+    assert FlowSpec.from_dict(spec.to_dict()).to_dict() == spec.to_dict()

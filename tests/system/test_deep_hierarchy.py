@@ -13,7 +13,7 @@ from repro.obs.trace import MemorySink
 from repro.pci import header as hdr
 from repro.system.spec import (DeviceSpec, SwitchSpec, TopologySpec,
                                deep_hierarchy_spec)
-from repro.system.topology import build_system
+from repro.system.topology import AmbiguousDeviceError, build_system
 from repro.workloads.dd import DdWorkload
 from repro.workloads.mmio import MmioReadBench
 
@@ -195,11 +195,21 @@ def test_sole_disk_conveniences_survive_renaming():
     assert system.disk_link is system.links["bulk_storage"]
 
 
-def test_ambiguous_disk_conveniences_return_none():
+def test_ambiguous_disk_conveniences_raise_descriptive_error():
     spec = TopologySpec(children=[SwitchSpec(name="switch", children=[
         DeviceSpec("disk"), DeviceSpec("disk"),
     ])]).finalize()
     system = build_system(spec)
-    assert system.disk is None
-    assert system.disk_driver is None
-    assert system.disk_link is None
+    # Regression: these used to return None silently, which misdirected
+    # everything downstream; now they name the candidates and the fix.
+    with pytest.raises(AmbiguousDeviceError, match=r"disk0, disk1"):
+        system.disk
+    with pytest.raises(AmbiguousDeviceError, match=r"system\.devices"):
+        system.disk_driver
+    with pytest.raises(AmbiguousDeviceError):
+        system.disk_link
+    # Absent kinds still read as None — only 2+ is an error.
+    assert system.nic is None
+    assert system.nic_driver is None
+    assert system.accel is None
+    assert system.accel_driver is None

@@ -1,0 +1,91 @@
+"""Stats/trace reconciliation for multi-flow runs on deep fabrics.
+
+Two concurrent dd readers on a depth-2 switch spine, traced end to
+end: the trace-derived event counts must agree *exactly* with every
+link's live statistics, the engine residency summary must cover the
+shared uplinks, and the per-flow byte counters must reconcile with the
+disks' own transfer stats.  This pins the contract that a multi-flow
+trace is a complete, lossless record of the run.
+"""
+
+import pytest
+
+from repro.analysis.report import (reconcile_trace_with_link,
+                                   trace_latency_breakdown)
+from repro.obs.trace import MemorySink
+from repro.system.spec import deep_hierarchy_spec
+from repro.system.topology import build_system
+from repro.workloads.traffic import FlowSpec, TrafficEngine
+
+TRACE_CATEGORIES = ("link", "engine")
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """Two readers on a depth-2, fanout-2 spine: one on each level."""
+    system = build_system(deep_hierarchy_spec(2, 2))
+    sink = MemorySink()
+    system.sim.tracer.categories = frozenset(TRACE_CATEGORIES)
+    system.sim.tracer.attach(sink)
+    flows = [
+        FlowSpec(name="near", kind="dd_read", device="sw1_disk0",
+                 requests=2, bytes_per_request=8192, seed=1),
+        FlowSpec(name="far", kind="dd_read", device="sw2_disk1",
+                 requests=2, bytes_per_request=8192, seed=2),
+    ]
+    engine = TrafficEngine(system, flows)
+    engine.start()
+    system.run(max_events=100_000_000)
+    assert engine.completed
+    return system, engine, sink
+
+
+def test_trace_reconciles_with_every_link_exactly(traced_run):
+    system, __, sink = traced_run
+    breakdown = trace_latency_breakdown(sink.events)
+    for link_name, link in sorted(system.links.items()):
+        recon = reconcile_trace_with_link(breakdown, link)
+        for interface, counts in recon.items():
+            for stat_name, pair in counts.items():
+                assert pair["stat"] == pair["trace"], \
+                    (link_name, interface, stat_name)
+
+
+def test_engine_residency_covers_the_shared_path(traced_run):
+    __, ___, sink = traced_run
+    breakdown = trace_latency_breakdown(sink.events)
+    residency = breakdown["engine_residency"]
+    assert residency, "no engine residencies in a switched-fabric trace"
+    for comp, summary in residency.items():
+        assert summary["count"] > 0, comp
+        assert summary["max"] >= summary["ticks"] / summary["count"] > 0, comp
+    # The far flow crosses both switches, so both levels must appear.
+    assert any("sw1" in comp for comp in residency)
+    assert any("sw2" in comp for comp in residency)
+
+
+def test_flow_bytes_reconcile_with_disk_stats(traced_run):
+    system, engine, __ = traced_run
+    results = engine.results()
+    sector = system.drivers["sw1_disk0"].sector_size
+    for flow, disk_name in (("near", "sw1_disk0"), ("far", "sw2_disk1")):
+        record = results["flows"][flow]
+        disk = system.devices[disk_name]
+        assert record["bytes"] == \
+            disk.sectors_transferred.value() * sector
+    # Untouched disks moved nothing: the flows never crossed devices.
+    for name in ("sw1_disk1", "sw2_disk0"):
+        assert system.devices[name].sectors_transferred.value() == 0
+
+
+def test_stats_dump_agrees_with_results_dict(traced_run):
+    system, engine, __ = traced_run
+    results = engine.results()
+    dump = system.sim.dump_stats()
+    for flow in ("near", "far"):
+        record = results["flows"][flow]
+        assert dump[f"traffic.{flow}.bytes_moved"] == record["bytes"]
+        assert dump[f"traffic.{flow}.requests_completed"] == \
+            record["requests_completed"]
+        assert dump[f"traffic.{flow}.request_ticks::count"] == \
+            record["requests_completed"]

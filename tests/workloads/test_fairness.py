@@ -1,0 +1,63 @@
+"""Contention/fairness acceptance battery.
+
+The headline claims of the traffic engine, asserted as tests: equal
+flows behind a shared Gen 2 x1 uplink split the bandwidth fairly
+(Jain's index >= 0.98, shares ~1/n), and widening the contended uplink
+strictly reduces every flow's tail latency.
+"""
+
+import pytest
+
+from repro.workloads.scenarios import fanout_contention, run_scenario
+
+#: Request count for the battery: enough work that steady-state
+#: contention dominates startup skew, small enough for the test budget.
+REQUESTS = 4
+
+
+def contention_results(uplink_width, fanout=4):
+    system, engine = run_scenario(
+        fanout_contention(fanout=fanout, uplink_width=uplink_width,
+                          requests=REQUESTS))
+    assert engine.completed
+    return engine.results()
+
+
+@pytest.fixture(scope="module")
+def width_sweep():
+    """fanout_contention at the three uplink widths, run once."""
+    return {w: contention_results(w) for w in (1, 2, 4)}
+
+
+def test_equal_flows_share_the_uplink_fairly(width_sweep):
+    results = width_sweep[1]
+    assert results["fairness_index"] >= 0.98
+    for record in results["flows"].values():
+        assert record["share"] == pytest.approx(0.25, abs=0.05)
+
+
+def test_fairness_holds_at_every_width(width_sweep):
+    for width, results in width_sweep.items():
+        assert results["fairness_index"] >= 0.98, f"x{width}"
+
+
+def test_wider_uplink_strictly_reduces_p99(width_sweep):
+    worst = {w: max(f["p99_ns"] for f in r["flows"].values())
+             for w, r in width_sweep.items()}
+    assert worst[1] > worst[2] > worst[4]
+
+
+def test_wider_uplink_raises_total_throughput(width_sweep):
+    assert width_sweep[4]["total_gbps"] > width_sweep[1]["total_gbps"]
+
+
+def test_unequal_demand_lowers_the_index():
+    # One reader moving 4x the bytes per request skews the allocation;
+    # the index must drop below the equal-flow regime but stay above
+    # 1/n (nobody fully starves).
+    scenario = fanout_contention(requests=REQUESTS)
+    scenario.flows[0].bytes_per_request *= 4
+    system, engine = run_scenario(scenario)
+    assert engine.completed
+    results = engine.results()
+    assert 0.25 < results["fairness_index"] < 0.98

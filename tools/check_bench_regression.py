@@ -1,4 +1,4 @@
-"""Gate on the core-perf benchmark artifact.
+"""Gate on a perf benchmark artifact (core-perf or traffic-perf).
 
 Usage::
 
@@ -10,42 +10,60 @@ Compares the *machine-normalised* metrics of the artifact's ``after``
 block (wall clocks divided by the frozen calibration workload, so the
 numbers are comparable across machines) against the committed
 thresholds, and fails when any metric exceeds its threshold.  The
-thresholds are set ~25 % above the post-overhaul measurements: CI noise
-passes, a real hot-path regression does not.  Kept in a script so the
-CI job and local runs share one definition of "pass".
+thresholds are set ~25 % above the measured values: CI noise passes, a
+real hot-path regression does not.  Kept in a script so the CI job and
+local runs share one definition of "pass".
+
+The thresholds file *is* the contract: every key ending in ``_norm``
+is a ceiling (lower is better), every key ending in ``_min`` is a
+floor on the metric named without the suffix (higher is better), and
+keys starting with ``_`` are comments.  That makes the script artifact-
+agnostic — BENCH_core.json and BENCH_traffic.json share it, each with
+its own thresholds file.
 """
 
 import json
 import sys
 
-#: Metrics bounded by the thresholds file: normalised wall clocks
-#: (lower is better) and absolute rate floors (higher is better).
-CEILING_KEYS = ("dd_gen2x1_norm", "link_norm", "eventq_norm")
-FLOOR_KEYS = ("eventq_ops_per_sec_min",)
+
+def classify(thresholds):
+    """Split a thresholds doc into (ceiling_keys, floor_keys)."""
+    ceilings, floors = [], []
+    for key in sorted(thresholds):
+        if key.startswith("_"):
+            continue  # comment keys
+        if key.endswith("_min"):
+            floors.append(key)
+        else:
+            ceilings.append(key)
+    return ceilings, floors
 
 
 def check(doc, thresholds):
     """Return a list of human-readable violations (empty == pass)."""
     after = doc.get("after")
     if not after:
-        return ["BENCH_core.json has no 'after' block — run "
-                "`python -m benchmarks.core_perf --phase after` first"]
+        return ["artifact has no 'after' block — run the benchmark "
+                "module with `--phase after` first"]
+    ceilings, floors = classify(thresholds)
+    if not ceilings and not floors:
+        return ["thresholds file bounds nothing (no non-comment keys)"]
     problems = []
-    for key in CEILING_KEYS:
-        limit = thresholds.get(key)
+    for key in ceilings:
+        limit = thresholds[key]
         value = after.get(key)
-        if limit is None or value is None:
-            problems.append(f"missing metric or threshold for {key!r} "
-                            f"(value={value}, limit={limit})")
+        if value is None:
+            problems.append(f"missing metric for threshold {key!r} "
+                            f"(limit={limit})")
         elif value > limit:
             problems.append(f"{key} = {value} exceeds threshold {limit} "
                             f"({value / limit - 1.0:+.1%})")
-    for key in FLOOR_KEYS:
-        limit = thresholds.get(key)
+    for key in floors:
+        limit = thresholds[key]
         value = after.get(key.removesuffix("_min"))
-        if limit is None or value is None:
-            problems.append(f"missing metric or threshold for {key!r} "
-                            f"(value={value}, limit={limit})")
+        if value is None:
+            problems.append(f"missing metric for threshold {key!r} "
+                            f"(limit={limit})")
         elif value < limit:
             problems.append(f"{key.removesuffix('_min')} = {value} below "
                             f"floor {limit} ({value / limit - 1.0:+.1%})")
@@ -53,7 +71,7 @@ def check(doc, thresholds):
 
 
 def main(argv=None):
-    """Validate BENCH_core.json against thresholds; return exit status."""
+    """Validate a benchmark artifact against thresholds; return status."""
     argv = sys.argv[1:] if argv is None else list(argv)
     if len(argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
@@ -64,15 +82,19 @@ def main(argv=None):
         thresholds = json.load(fh)
     problems = check(doc, thresholds)
     if problems:
-        print("core-perf regression gate FAILED:")
+        print(f"perf regression gate FAILED ({argv[0]}):")
         for problem in problems:
             print(f"  {problem}")
         return 1
     after = doc.get("after", {})
     speedup = doc.get("speedup")
-    print("core-perf regression gate passed:")
-    for key in CEILING_KEYS:
-        print(f"  {key} = {after.get(key)} (limit {thresholds.get(key)})")
+    ceilings, floors = classify(thresholds)
+    print(f"perf regression gate passed ({argv[0]}):")
+    for key in ceilings:
+        print(f"  {key} = {after.get(key)} (limit {thresholds[key]})")
+    for key in floors:
+        metric = key.removesuffix("_min")
+        print(f"  {metric} = {after.get(metric)} (floor {thresholds[key]})")
     if speedup:
         print(f"  before/after speedup: {speedup}")
     return 0
