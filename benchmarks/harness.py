@@ -131,6 +131,7 @@ def run_dd(block_bytes: int, startup_overhead: Optional[int] = None,
         "throughput_gbps": dd.result.throughput_gbps,
         "transfer_gbps": dd.result.transfer_gbps,
         "replay_fraction": stats["replay_fraction"],
+        "fc_stall_ticks": stats["fc_stall_ticks"],
         "timeouts": stats["timeouts"],
         "tlps_sent": stats["tlps_sent"],
         "device_level_gbps": (

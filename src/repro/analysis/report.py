@@ -335,16 +335,26 @@ def flow_table(results: dict) -> Table:
 
 
 def link_replay_stats(link) -> Dict[str, float]:
-    """Replay/timeout statistics of a link's upstream-bound interface
-    (the disk-to-switch direction the paper instruments)."""
+    """Replay/timeout and credit-stall statistics of a link's
+    upstream-bound interface (the disk-to-switch direction the paper
+    instruments).
+
+    ``fc_stall_ticks`` sums the per-class credit-starvation clocks:
+    with credit-based flow control, congestion backpressure shows up
+    here (the transmitter waits for UpdateFC) rather than as replay
+    storms, which are reserved for actual transmission errors.
+    """
     interface = link.downstream_if
     sent = interface.tlps_sent.value()
     replays = interface.tlp_replays.value()
     total = sent + replays
+    fc = interface.fc
     return {
         "tlps_sent": sent,
         "replays": replays,
         "timeouts": interface.timeouts.value(),
         "replay_fraction": replays / total if total else 0.0,
         "delivery_refused": interface.peer.delivery_refused.value(),
+        "fc_stall_ticks": float(fc.stall_ticks[0] + fc.stall_ticks[1]
+                                + fc.stall_ticks[2]),
     }

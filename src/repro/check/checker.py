@@ -26,11 +26,19 @@ protocol rules:
   an ACK/NAK never acknowledges a sequence number that was never sent
   (``link.ack_unsent_seq``); a replay timeout always leaves the timer
   armed while TLPs remain unacknowledged (``link.timeout_unarmed``).
+* **Flow control** — a transmitter never consumes more credits of a
+  class than its peer advertised (``link.fc_overconsume``); an accepted
+  TLP always has a free slot of its class in the receive buffer — a
+  non-posted flood can never eat completion slots
+  (``link.fc_rx_overflow``); received UpdateFC credit limits are
+  monotone (``link.fc_limit_regressed``).
 * **Quiescence** — when the event queue drains, every link interface
   must be idle: a non-empty replay buffer with no scheduled replay
-  event is a deadlock (``link.replay_deadlock``), and stuck input or
-  DLLP queues are flagged too (``link.stuck_input_queue`` /
-  ``link.stuck_dllp_queue``).
+  event is a deadlock (``link.replay_deadlock``); stuck input, receive
+  or DLLP queues are flagged too (``link.stuck_input_queue`` /
+  ``link.stuck_rx_buffer`` / ``link.stuck_dllp_queue``); and every
+  credit consumed must map to a drained peer buffer slot — no credit
+  may leak (``link.fc_credit_leak``).
 
 Violations are :class:`~repro.check.violation.InvariantViolation`
 instances carrying component path, tick, and the most recent trace
@@ -46,6 +54,9 @@ from typing import Deque, Dict, List, Optional
 from repro.check.violation import InvariantViolation
 
 __all__ = ["InvariantChecker"]
+
+#: Human-readable flow-control class names, indexed by flow-class int.
+_FLOW_NAMES = ("posted", "non-posted", "completion")
 
 
 class _RingSink:
@@ -250,7 +261,8 @@ class InvariantChecker:
         return ledger
 
     def link_tlp_queued(self, iface, ppkt) -> None:
-        """A new TLP entered the replay buffer: seq + occupancy rules."""
+        """A new TLP entered the replay buffer: seq, occupancy and
+        credit-consumption rules."""
         ledger = self._link_ledger(iface)
         if ppkt.seq != ledger.last_sent_seq + 1:
             self._violate(
@@ -265,9 +277,21 @@ class InvariantChecker:
                 f"replay buffer holds {len(iface.replay_buffer)} TLPs, "
                 f"size is {iface.replay_buffer_size}",
             )
+        fc = iface.fc
+        cls = ppkt.tlp.flow_class
+        if fc.tx_consumed[cls] > fc.tx_limit[cls]:
+            self._violate(
+                "link.fc_overconsume", iface.full_name,
+                f"consumed {fc.tx_consumed[cls]} "
+                f"{_FLOW_NAMES[cls]} credits but the peer only ever "
+                f"advertised {fc.tx_limit[cls]}",
+            )
 
     def link_tlp_delivered(self, iface, ppkt) -> None:
-        """A TLP was delivered: receiving seq advances by exactly one."""
+        """A TLP was accepted: receiving seq advances by exactly one and
+        its flow-control class must have a free receive-buffer slot —
+        credit gating at the sender guarantees it, so an overflow here
+        means a class borrowed another's buffers."""
         ledger = self._link_ledger(iface)
         if ppkt.seq != ledger.last_delivered_seq + 1:
             self._violate(
@@ -276,9 +300,34 @@ class InvariantChecker:
                 f"{ledger.last_delivered_seq + 1}",
             )
         ledger.last_delivered_seq = ppkt.seq
+        fc = iface.fc
+        cls = ppkt.tlp.flow_class
+        if fc.rx_held[cls] >= fc.rx_capacity[cls]:
+            self._violate(
+                "link.fc_rx_overflow", iface.full_name,
+                f"accepted a {_FLOW_NAMES[cls]} TLP with all "
+                f"{fc.rx_capacity[cls]} {_FLOW_NAMES[cls]} receive-buffer "
+                f"slots already occupied",
+            )
 
     def link_dllp_received(self, iface, ppkt) -> None:
-        """An ACK/NAK arrived: it may not acknowledge an unsent TLP."""
+        """A DLLP arrived: an ACK/NAK may not acknowledge an unsent TLP,
+        an UpdateFC may not regress the cumulative credit limit."""
+        from repro.pcie.pkt import FLOW_CLASS_FOR_DLLP
+
+        cls = FLOW_CLASS_FOR_DLLP.get(ppkt.dllp_type)
+        if cls is not None:
+            # Limits we emitted are monotone (coalescing keeps the max)
+            # and the wire is in-order, so a regression means the peer's
+            # ledger or the coalescing logic broke.  Equality is legal:
+            # the FC watchdog re-requests the current limit.
+            if ppkt.seq < iface.fc.tx_limit[cls]:
+                self._violate(
+                    "link.fc_limit_regressed", iface.full_name,
+                    f"UpdateFC lowers the {_FLOW_NAMES[cls]} credit limit "
+                    f"to {ppkt.seq} from {iface.fc.tx_limit[cls]}",
+                )
+            return
         if ppkt.seq >= iface.send_seq:
             self._violate(
                 "link.ack_unsent_seq", iface.full_name,
@@ -316,18 +365,39 @@ class InvariantChecker:
                     f"{[p.seq for p in iface.replay_buffer]}) and the "
                     f"replay timer is {'armed' if armed else 'not armed'}",
                 )
-            if iface.input_queue:
+            if iface._in_req or iface._in_cpl:
                 self._violate(
                     "link.stuck_input_queue", iface.full_name,
-                    f"event queue is empty but {len(iface.input_queue)} "
+                    f"event queue is empty but "
+                    f"{len(iface._in_req) + len(iface._in_cpl)} "
                     f"TLP(s) from the component were never transmitted",
+                )
+            if iface._rx_req or iface._rx_cpl:
+                self._violate(
+                    "link.stuck_rx_buffer", iface.full_name,
+                    f"event queue is empty but "
+                    f"{len(iface._rx_req) + len(iface._rx_cpl)} received "
+                    f"TLP(s) were never drained into the component",
                 )
             if iface.dllp_queue:
                 self._violate(
                     "link.stuck_dllp_queue", iface.full_name,
                     f"event queue is empty but {len(iface.dllp_queue)} "
-                    f"ACK/NAK DLLP(s) were never transmitted",
+                    f"DLLP(s) were never transmitted",
                 )
+            fc, peer_fc = iface.fc, iface.peer.fc
+            for cls in (0, 1, 2):
+                outstanding = (peer_fc.rx_drained[cls]
+                               + peer_fc.rx_held[cls])
+                if fc.tx_consumed[cls] != outstanding:
+                    self._violate(
+                        "link.fc_credit_leak", iface.full_name,
+                        f"at quiescence {fc.tx_consumed[cls]} "
+                        f"{_FLOW_NAMES[cls]} credits were consumed but the "
+                        f"peer accounts for {outstanding} "
+                        f"(drained {peer_fc.rx_drained[cls]}, still held "
+                        f"{peer_fc.rx_held[cls]})",
+                    )
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"

@@ -85,9 +85,9 @@ def dd_point(block_bytes: int, startup_overhead: int = 0,
 
     Returns:
         Flat metrics dict: dd-level and transfer-level throughput,
-        replay fraction, timeout and TLP counts, and device-level
-        per-sector throughput — everything Figures 9(a–d) and the
-        device-level check consume.
+        replay fraction, credit-stall ticks, timeout and TLP counts,
+        and device-level per-sector throughput — everything Figures
+        9(a–d) and the device-level check consume.
     """
     if topology is not None:
         if gen is not None or switch_latency_ns is not None \
@@ -126,6 +126,7 @@ def dd_point(block_bytes: int, startup_overhead: int = 0,
         "throughput_gbps": dd.result.throughput_gbps,
         "transfer_gbps": dd.result.transfer_gbps,
         "replay_fraction": stats["replay_fraction"],
+        "fc_stall_ticks": stats["fc_stall_ticks"],
         "timeouts": stats["timeouts"],
         "tlps_sent": stats["tlps_sent"],
         "device_level_gbps": (

@@ -112,7 +112,13 @@ class MsiDoorbell(SimObject):
             ranges=[self.range],
         )
         self._respq = PacketQueue(self, "respq", self.port.send_timing_resp, 16)
+        self._respq.on_space_freed = self._maybe_retry
         self.msis_received = self.stats.scalar("msis_received")
+
+    def _maybe_retry(self) -> None:
+        """Response-queue space freed: let a refused requester retry."""
+        if self.port.retry_owed:
+            self.port.send_retry_req()
 
     def _recv(self, pkt) -> bool:
         if pkt.needs_response and self._respq.full:

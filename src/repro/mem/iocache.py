@@ -257,3 +257,7 @@ class IOCache(SimObject):
     def _maybe_retry_cpu(self) -> None:
         if self.cpu_side.retry_owed:
             self.cpu_side.send_retry_req()
+        # A full response queue also refuses memory-side responses; now
+        # that space freed, let the memory bus re-deliver them.
+        if self.mem_side.resp_retry_owed and not self._resp_queue.full:
+            self.mem_side.send_retry_resp()

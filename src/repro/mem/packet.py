@@ -109,6 +109,29 @@ for _cmd in MemCmd:
     )
 del _cmd
 
+# PCI-Express flow-control classes, as plain ints so this module needs
+# nothing from ``repro.pcie`` (which imports *us*).  The authoritative
+# enum view lives in :mod:`repro.pcie.fc` with identical values.
+FLOW_P = 0  # posted: memory writes, messages (no completion expected)
+FLOW_NP = 1  # non-posted: memory reads, config accesses
+FLOW_CPL = 2  # completions: every *_RESP command
+
+# Flow class follows the command's wire format, not whether this model
+# happens to complete it: memory writes and messages ride posted
+# credits even though the model's writes expect a WRITE_RESP (the
+# paper does not post writes), reads and config accesses ride
+# non-posted credits, and every response is a completion.
+_FLOW_FOR = {
+    MemCmd.READ_REQ: FLOW_NP,
+    MemCmd.WRITE_REQ: FLOW_P,
+    MemCmd.CONFIG_READ_REQ: FLOW_NP,
+    MemCmd.CONFIG_WRITE_REQ: FLOW_NP,
+    MemCmd.MESSAGE: FLOW_P,
+}
+for _cmd in MemCmd:
+    _cmd._flow_class = FLOW_CPL if _cmd._is_response else _FLOW_FOR[_cmd]
+del _cmd
+
 _packet_ids = itertools.count()
 
 
@@ -141,6 +164,11 @@ class Packet:
             Per the paper: "The maximum TLP payload size is 0 for a read
             request or a write response and is cache line size for a
             write request or read response."
+        flow_class: PCI-Express flow-control class — :data:`FLOW_P`
+            (memory writes, messages), :data:`FLOW_NP` (reads, config
+            accesses) or :data:`FLOW_CPL` (completions) — stamped at
+            construction; :class:`repro.pcie.fc.FlowClass` is the enum
+            view with identical values.
     """
 
     __slots__ = (
@@ -164,6 +192,7 @@ class Packet:
         "is_write",
         "needs_response",
         "payload_size",
+        "flow_class",
     )
 
     def __init__(
@@ -197,6 +226,7 @@ class Packet:
         self.is_write = cmd._is_write
         self.needs_response = cmd._needs_response and not self.posted
         self.payload_size = size if cmd._carries_payload else 0
+        self.flow_class = cmd._flow_class
         # Free-form per-component scratch space (e.g. measured
         # latencies).  Allocated lazily: most TLPs are never annotated,
         # and the per-packet empty dict was measurable churn in the

@@ -138,6 +138,7 @@ class MasterPort(Port):
         if not self._resp_retry_owed:
             raise PortError(f"{self.full_name} owes no response retry")
         self._resp_retry_owed = False
+        self.peer.waiting_for_resp_retry = False
         self.peer.recv_resp_retry()
 
     @property

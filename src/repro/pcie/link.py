@@ -4,52 +4,71 @@ A :class:`PcieLink` is two unidirectional links plus a
 :class:`PcieLinkInterface` at each end.  Each interface owns a master
 and a slave port that bind to the neighbouring component (a device's
 PIO/DMA ports, or a root-complex/switch port pair), and implements the
-paper's simplified data-link layer:
+paper's simplified data-link layer plus PCIe's credit-based flow
+control (see :mod:`repro.pcie.fc` and docs/ARCHITECTURE.md "Flow
+control & ordering"):
 
 * TLPs are wrapped in pcie-pkts, given a *sending sequence number*, and
   stored in a bounded **replay buffer** until acknowledged;
-* a receiver accepts a TLP only when its sequence number equals the
-  *receiving sequence number* **and** the attached port accepts the
-  packet; only then is the receive counter bumped and an ACK scheduled —
-  a refusal (full buffers upstream) silently drops the TLP and the
-  sender's **replay timer** eventually retransmits everything still in
-  the replay buffer;
+* every TLP belongs to a flow-control class — posted (P), non-posted
+  (NP) or completion (CPL) — and a new TLP is transmitted only while
+  the transmitter holds a credit for its class.  Credits are advertised
+  by the receiver at link-up (InitFC, modelled as an instantaneous
+  handshake), consumed per first transmission, and returned with
+  UpdateFC DLLPs as the receiver's per-class RX buffers drain into the
+  attached component.  Because the sender never transmits without a
+  credit, an in-sequence TLP is *always* accepted into the RX buffer —
+  backpressure surfaces as credit stalls at the transmitter
+  (``fc_stall_ticks_{p,np,cpl}``), never as dropped deliveries;
+* a TLP is accepted only when its sequence number equals the
+  *receiving sequence number*; acceptance bumps the receive counter
+  and schedules an ACK.  A component refusal (full buffers past the
+  link) leaves the TLP in the RX buffer: the component's port retry
+  resumes the drain, and completions queue separately from requests so
+  a request flood can never block completions from draining;
 * ACK DLLPs are coalesced: the receiver holds them back until the ACK
   timer (one third of the replay timeout) expires;
 * an ACK purges every replay-buffer entry with a sequence number less
   than or equal to the acknowledged one and resets the replay timer;
-* transmission priority is (1) ACK/NAK DLLPs, (2) retransmitted
-  pcie-pkts, (3) new TLPs — and new TLPs are transmitted only while the
-  replay buffer has space, which is the *source throttling* behaviour
-  the paper's Figure 9(c) studies.
+* transmission priority is (1) DLLPs (ACK/NAK/UpdateFC), (2)
+  retransmitted pcie-pkts, (3) new TLPs — and new TLPs are transmitted
+  only while the replay buffer has space, which is the *source
+  throttling* behaviour the paper's Figure 9(c) studies.
 
-Optional error injection corrupts a deterministic pseudo-random fraction
-of received TLPs, exercising the NAK path (the receiver NAKs, the
-sender purges acknowledged TLPs and replays the rest).  A separate
-``dllp_error_rate`` corrupts received ACK/NAK DLLPs instead: per the
-spec a corrupted DLLP is silently discarded, so a lost ACK leaves the
-sender's replay buffer populated until the replay timer retransmits —
-recovery happens through the timeout path, never deadlock.
+Optional error injection corrupts a deterministic pseudo-random
+fraction of received TLPs, exercising the NAK path (the receiver NAKs,
+the sender purges acknowledged TLPs and replays the rest).  A separate
+``dllp_error_rate`` corrupts received DLLPs instead: per the spec a
+corrupted DLLP is silently discarded.  A lost ACK leaves the sender's
+replay buffer populated until the replay timer retransmits; a lost
+UpdateFC is healed by the next one (credit limits are cumulative) or,
+on an otherwise idle class, by the **FC watchdog** — a transmitter-side
+timer armed while credit-starved with work pending that asks the peer
+to re-advertise its current limits, modelling the spec's mandatory
+periodic UpdateFC retransmission without streaming DLLPs over idle
+links.  Recovery happens through timers, never deadlock.
 
 When a sink is attached to the simulator's tracer, every interface
 stamps ``link``-category trace points (``tlp_tx``, ``tlp_deliver``,
 ``tlp_refused``, ``tlp_out_of_seq``, ``tlp_corrupt``, ``dllp_tx``,
-``dllp_rx``, ``dllp_corrupt``, ``replay_timeout``) carrying the
-tracer-local TLP id, the data-link sequence number and the replay flag
-— the raw material for per-TLP latency attribution.
+``dllp_rx``, ``dllp_corrupt``, ``replay_timeout``, ``fc_watchdog``)
+carrying the tracer-local TLP id, the data-link sequence number and the
+replay flag — the raw material for per-TLP latency attribution.
 """
 
 import random
 from collections import deque
 from typing import Deque, Optional
 
-from repro.mem.packet import Packet
+from repro.mem.packet import FLOW_CPL, Packet
 from repro.mem.port import MasterPort, SlavePort
-from repro.pcie.pkt import DllpType, PciePacket
+from repro.pcie.fc import CreditLedger
+from repro.pcie.pkt import FLOW_CLASS_FOR_DLLP, DllpType, PciePacket
 from repro.pcie.timing import (
     LinkTiming,
     PcieGen,
     ack_timer_ticks,
+    fc_watchdog_ticks,
     replay_timeout_ticks,
 )
 from repro.sim import ticks
@@ -135,6 +154,7 @@ class UnidirectionalLink(SimObject):
 
     def send(self, ppkt: PciePacket, sender: "PcieLinkInterface",
              receiver: "PcieLinkInterface") -> None:
+        """Serialize ``ppkt`` onto the wire towards ``receiver``."""
         if self.busy:
             raise RuntimeError(f"{self.full_name} is busy")
         wire = ppkt.wire_bytes()
@@ -191,11 +211,32 @@ class PcieLinkInterface(SimObject):
         self.replay_buffer: Deque[PciePacket] = deque()
         self.retransmit_queue: Deque[PciePacket] = deque()
         self.dllp_queue: Deque[PciePacket] = deque()
-        self.input_queue: Deque[Packet] = deque()
+        # Component-facing input, split so completions never queue
+        # behind credit-blocked requests (each bounded separately).
+        self._in_req: Deque[Packet] = deque()
+        self._in_cpl: Deque[Packet] = deque()
         self._replay_event = CallbackEvent(self._replay_timeout, name=f"{name}.replay")
+        # Armed while a class is credit-starved with work pending; on
+        # expiry the peer re-advertises (lost-UpdateFC recovery).
+        self._fc_watchdog_event = CallbackEvent(
+            self._fc_watchdog_fired, name=f"{name}.fc_watchdog"
+        )
+
+        # -- flow control ----------------------------------------------------
+        # Both accounts of this end's credit state: what we may send
+        # (tx_*, installed by InitFC/UpdateFC from the peer) and what we
+        # have advertised and buffered (rx_*).
+        self.fc = CreditLedger(
+            parent.p_credits, parent.np_credits, parent.cpl_credits
+        )
 
         # -- RX state --------------------------------------------------------
         self.recv_seq = 0
+        # Per-class receive buffers backing the advertised credits:
+        # completions drain through our slave port, requests (P and NP,
+        # in arrival order) through our master port.
+        self._rx_req: Deque[Packet] = deque()
+        self._rx_cpl: Deque[Packet] = deque()
         self._ack_event = CallbackEvent(self._ack_timer_fired, name=f"{name}.ack")
         self._have_unacked_delivery = False
         # Seeded with a string for run-to-run determinism (str seeding
@@ -210,14 +251,39 @@ class PcieLinkInterface(SimObject):
         self.acks_sent = s.scalar("acks_sent")
         self.naks_sent = s.scalar("naks_sent")
         self.acks_received = s.scalar("acks_received")
-        self.delivered = s.scalar("delivered", "TLPs handed to the attached component")
+        self.fc_updates_sent = s.scalar(
+            "fc_updates_sent", "UpdateFC DLLPs transmitted"
+        )
+        self.fc_updates_received = s.scalar(
+            "fc_updates_received", "UpdateFC DLLPs received intact"
+        )
+        self.fc_watchdog_fires = s.scalar(
+            "fc_watchdog_fires", "credit-stall watchdog expirations"
+        )
+        self.delivered = s.scalar(
+            "delivered", "TLPs accepted into the receive buffers"
+        )
         self.delivery_refused = s.scalar(
-            "delivery_refused", "TLPs dropped because the attached port was full"
+            "delivery_refused",
+            "RX-buffer drain attempts refused by the attached port",
         )
         self.out_of_seq = s.scalar("out_of_seq", "TLPs discarded by the sequence check")
         self.corrupted = s.scalar("corrupted", "TLPs hit by injected errors")
         self.dllp_corrupted = s.scalar(
-            "dllp_corrupted", "ACK/NAK DLLPs hit by injected errors (discarded)"
+            "dllp_corrupted", "DLLPs hit by injected errors (discarded)"
+        )
+        fc = self.fc
+        s.formula(
+            "fc_stall_ticks_p", lambda: fc.stall_ticks[0],
+            "ticks new posted TLPs waited on credits",
+        )
+        s.formula(
+            "fc_stall_ticks_np", lambda: fc.stall_ticks[1],
+            "ticks new non-posted TLPs waited on credits",
+        )
+        s.formula(
+            "fc_stall_ticks_cpl", lambda: fc.stall_ticks[2],
+            "ticks new completion TLPs waited on credits",
         )
 
         def _replay_fraction() -> float:
@@ -240,37 +306,55 @@ class PcieLinkInterface(SimObject):
     # -- convenience -----------------------------------------------------------
     @property
     def replay_buffer_size(self) -> int:
+        """Shared replay-buffer capacity (all classes)."""
         return self.link_parent.replay_buffer_size
 
     @property
     def input_queue_size(self) -> int:
+        """Per-queue bound on the component-facing input queues."""
         return self.link_parent.input_queue_size
 
     @property
+    def input_queue(self) -> Deque[Packet]:
+        """Combined view of both input queues (requests then
+        completions) — diagnostics and quiescence checks only; the
+        bounded queues themselves are per-class."""
+        return self._in_req + self._in_cpl
+
+    @property
     def replay_timeout(self) -> int:
+        """Replay-timer period in ticks."""
         return self.link_parent.replay_timeout
 
     @property
     def ack_period(self) -> int:
+        """ACK-coalescing timer period in ticks."""
         return self.link_parent.ack_period
+
+    @property
+    def fc_watchdog(self) -> int:
+        """Credit-stall watchdog period in ticks."""
+        return self.link_parent.fc_watchdog
 
     # ==================== TX: component -> link =========================
     def _recv_from_component(self, pkt: Packet) -> bool:
         """A TLP offered by the attached component (request via our slave
         port or response via our master port)."""
-        if len(self.input_queue) >= self.input_queue_size:
+        queue = self._in_cpl if pkt.is_response else self._in_req
+        if len(queue) >= self.input_queue_size:
             return False
-        self.input_queue.append(pkt)
+        queue.append(pkt)
         self._kick_tx()
         return True
 
     def _component_req_retry(self) -> None:
-        """The component can accept a previously-refused delivery again.
-        Nothing is queued on our side — the dropped TLP returns via the
-        sender's replay — so there is nothing to do."""
+        """The component can accept a previously-refused delivery again:
+        resume draining the request receive buffer."""
+        self._drain_rx()
 
     def _component_resp_retry(self) -> None:
-        """Symmetric to :meth:`_component_req_retry`."""
+        """Symmetric to :meth:`_component_req_retry` for completions."""
+        self._drain_rx()
 
     def _kick_tx(self) -> None:
         if self.tx_link is None or self.tx_link.busy:
@@ -295,10 +379,13 @@ class PcieLinkInterface(SimObject):
         """Select the next pcie-pkt per the paper's priority order."""
         if self.dllp_queue:
             ppkt = self.dllp_queue.popleft()
-            if ppkt.dllp_type is DllpType.ACK:
+            dllp_type = ppkt.dllp_type
+            if dllp_type is DllpType.ACK:
                 self.acks_sent.inc()
-            else:
+            elif dllp_type is DllpType.NAK:
                 self.naks_sent.inc()
+            else:
+                self.fc_updates_sent.inc()
             return ppkt
         while self.retransmit_queue:
             ppkt = self.retransmit_queue.popleft()
@@ -306,30 +393,97 @@ class PcieLinkInterface(SimObject):
                 ppkt.is_replay = True
                 self.tlp_replays.inc()
                 return ppkt
-        if self.input_queue and len(self.replay_buffer) < self.replay_buffer_size:
-            pkt = self.input_queue.popleft()
-            ppkt = PciePacket.for_tlp(pkt, self.send_seq)
-            self.send_seq += 1
-            self.replay_buffer.append(ppkt)
-            self.tlps_sent.inc()
-            ck = self.checker
-            if ck.enabled:
-                ck.link_tlp_queued(self, ppkt)
-            self._issue_component_retries()
-            return ppkt
+        if len(self.replay_buffer) < self.replay_buffer_size:
+            # New TLPs spend a credit of their class on first
+            # transmission (replays above never re-consume: the
+            # receiver's buffer slot is still accounted to the TLP).
+            # Completions first — they hold a dedicated end-to-end
+            # path, and a credit-blocked class must not block the
+            # other queue.
+            fc = self.fc
+            queue = self._in_cpl
+            if queue:
+                if fc.tx_headroom(FLOW_CPL) > 0:
+                    return self._wrap_new_tlp(queue.popleft())
+                self._fc_blocked(FLOW_CPL)
+            queue = self._in_req
+            if queue:
+                cls = queue[0].flow_class
+                if fc.tx_headroom(cls) > 0:
+                    return self._wrap_new_tlp(queue.popleft())
+                self._fc_blocked(cls)
         return None
+
+    def _wrap_new_tlp(self, pkt: Packet) -> PciePacket:
+        """Sequence a first-time TLP, consuming one credit of its class."""
+        self.fc.consume(pkt.flow_class)
+        ppkt = PciePacket.for_tlp(pkt, self.send_seq)
+        self.send_seq += 1
+        self.replay_buffer.append(ppkt)
+        self.tlps_sent.inc()
+        ck = self.checker
+        if ck.enabled:
+            ck.link_tlp_queued(self, ppkt)
+        self._issue_component_retries()
+        return ppkt
 
     def _issue_component_retries(self) -> None:
         """Input-queue space freed: let the component retry refusals."""
-        if len(self.input_queue) >= self.input_queue_size:
-            return
-        if self.slave_port.retry_owed:
+        if (self.slave_port.retry_owed
+                and len(self._in_req) < self.input_queue_size):
             self.slave_port.send_retry_req()
-        if self.master_port.resp_retry_owed:
+        if (self.master_port.resp_retry_owed
+                and len(self._in_cpl) < self.input_queue_size):
             self.master_port.send_retry_resp()
 
     def link_free(self) -> None:
         """Our unidirectional link finished a transmission."""
+        self._kick_tx()
+
+    # -- credit stalls -------------------------------------------------------
+    def _fc_blocked(self, cls: int) -> None:
+        """A new TLP of ``cls`` is ready but its credits are exhausted:
+        start the class's stall clock and arm the FC watchdog."""
+        fc = self.fc
+        if not fc.stalled(cls):
+            fc.stall_begin(cls, self.curtick)
+        if not self._fc_watchdog_event.scheduled:
+            self.eventq.schedule_after(self._fc_watchdog_event, self.fc_watchdog)
+
+    def _fc_watchdog_fired(self) -> None:
+        """Credit-starved for a full watchdog period: an UpdateFC was
+        probably lost to corruption.  Ask the peer to re-advertise its
+        cumulative limits (the model's stand-in for the spec's periodic
+        UpdateFC retransmission) and re-arm while still starved."""
+        fc = self.fc
+        if not (fc.stalled(0) or fc.stalled(1) or fc.stalled(2)):
+            return
+        self.fc_watchdog_fires.inc()
+        trc = self.tracer
+        if trc.enabled:
+            trc.emit(self.curtick, "link", self.full_name, "fc_watchdog",
+                     p=fc.tx_headroom(0), np=fc.tx_headroom(1),
+                     cpl=fc.tx_headroom(2))
+        self.peer._readvertise_credits()
+        self.eventq.schedule_after(self._fc_watchdog_event, self.fc_watchdog)
+
+    def _readvertise_credits(self) -> None:
+        """Queue UpdateFC DLLPs carrying our current cumulative limits
+        for every class (idempotent at the receiver: limits are
+        monotone, so a duplicate advertisement is a no-op)."""
+        fc = self.fc
+        for cls in (0, 1, 2):
+            self._queue_dllp(PciePacket.update_fc(cls, fc.rx_limit(cls)))
+        self._kick_tx()
+
+    def _credits_arrived(self, cls: int) -> None:
+        """The peer advanced our ``cls`` credit limit: close the stall
+        clock, stand down the watchdog if nothing is starved, resume."""
+        fc = self.fc
+        fc.stall_end(cls, self.curtick)
+        if (self._fc_watchdog_event.scheduled
+                and not (fc.stalled(0) or fc.stalled(1) or fc.stalled(2))):
+            self.eventq.deschedule(self._fc_watchdog_event)
         self._kick_tx()
 
     # -- replay timer -------------------------------------------------------
@@ -357,6 +511,7 @@ class PcieLinkInterface(SimObject):
 
     # ===================== RX: link -> component =========================
     def receive_from_link(self, ppkt: PciePacket) -> None:
+        """Entry point for everything arriving off the wire."""
         if ppkt.is_dllp:
             self._receive_dllp(ppkt)
         else:
@@ -368,7 +523,9 @@ class PcieLinkInterface(SimObject):
                 and self._rng.random() < self.link_parent.dllp_error_rate):
             # A corrupted DLLP fails its CRC and is silently discarded;
             # a lost ACK is recovered by the sender's replay timer, a
-            # lost NAK by the next timeout or a later ACK/NAK.
+            # lost NAK by the next timeout or a later ACK/NAK, a lost
+            # UpdateFC by the next one (cumulative limits) or the FC
+            # watchdog.
             self.dllp_corrupted.inc()
             if trc.enabled:
                 trc.emit(self.curtick, "link", self.full_name, "dllp_corrupt",
@@ -380,33 +537,42 @@ class PcieLinkInterface(SimObject):
         ck = self.checker
         if ck.enabled:
             ck.link_dllp_received(self, ppkt)
-        if ppkt.dllp_type is DllpType.ACK:
+        dllp_type = ppkt.dllp_type
+        if dllp_type is DllpType.ACK:
             self.acks_received.inc()
             self._purge_acknowledged(ppkt.seq)
             self._reset_replay_timer()
             self._kick_tx()
-        else:  # NAK: purge what it acknowledges, replay the rest
+        elif dllp_type is DllpType.NAK:
+            # NAK: purge what it acknowledges, replay the rest.
             self._purge_acknowledged(ppkt.seq)
             self.retransmit_queue.clear()
             self.retransmit_queue.extend(self.replay_buffer)
             self._reset_replay_timer()
             self._kick_tx()
+        else:
+            # UpdateFC: install the cumulative limit; stale (lower or
+            # duplicate) limits are no-ops per the monotone rule.
+            self.fc_updates_received.inc()
+            cls = FLOW_CLASS_FOR_DLLP[dllp_type]
+            if self.fc.advertise(cls, ppkt.seq):
+                self._credits_arrived(cls)
 
     def _purge_acknowledged(self, seq: int) -> None:
         while self.replay_buffer and self.replay_buffer[0].seq <= seq:
             self.replay_buffer.popleft()
 
     def _queue_dllp(self, ppkt: PciePacket) -> None:
-        """Enqueue an ACK/NAK, coalescing with a pending DLLP of the
-        same type.
+        """Enqueue a DLLP, coalescing with a pending one of the same
+        type.
 
-        ACKs and NAKs are cumulative — acknowledging sequence ``n``
-        subsumes every earlier one — so a pending same-type DLLP is
-        updated to the highest sequence number instead of queueing a
-        second entry.  Without this, sustained TLP corruption (every
-        received TLP NAKed while the transmitter is busy) grows
-        ``dllp_queue`` without bound; with it the queue never holds more
-        than one ACK and one NAK.
+        ACK/NAK sequence numbers and UpdateFC credit limits are all
+        cumulative — a later value subsumes every earlier one — so a
+        pending same-type DLLP is updated to the highest value instead
+        of queueing a second entry.  Without this, sustained TLP
+        corruption (every received TLP NAKed while the transmitter is
+        busy) grows ``dllp_queue`` without bound; with it the queue
+        never holds more than one entry per DLLP type.
         """
         for pending in self.dllp_queue:
             if pending.dllp_type is ppkt.dllp_type:
@@ -419,6 +585,8 @@ class PcieLinkInterface(SimObject):
         trc = self.tracer
         if self.link_parent.error_rate and self._rng.random() < self.link_parent.error_rate:
             # A corrupted TLP: discard and NAK the last good sequence.
+            # No credit moves — the sender's credit stays consumed and
+            # our buffer slot stays reserved until the replay lands.
             self.corrupted.inc()
             if trc.enabled:
                 trc.emit(self.curtick, "link", self.full_name, "tlp_corrupt",
@@ -438,29 +606,72 @@ class PcieLinkInterface(SimObject):
                 # if the original ACK crossed a timeout.
                 self._schedule_ack()
             return
-        if not self._deliver(ppkt.tlp):
-            # Attached component refused (buffers full): drop; do not
-            # bump recv_seq; the sender's replay timer recovers.
-            self.delivery_refused.inc()
-            if trc.enabled:
-                trc.emit(self.curtick, "link", self.full_name, "tlp_refused",
-                         tlp=trc.tlp_id(ppkt.tlp.req_id), seq=ppkt.seq)
-            return
+        # In sequence: always accepted.  The sender consumed a credit of
+        # this class before transmitting, so the class's RX buffer has
+        # a slot by construction (the checker enforces it).
+        pkt = ppkt.tlp
+        cls = pkt.flow_class
         self.delivered.inc()
         if trc.enabled:
             trc.emit(self.curtick, "link", self.full_name, "tlp_deliver",
-                     tlp=trc.tlp_id(ppkt.tlp.req_id), seq=ppkt.seq,
-                     resp=ppkt.tlp.is_response)
+                     tlp=trc.tlp_id(pkt.req_id), seq=ppkt.seq,
+                     resp=pkt.is_response)
         ck = self.checker
         if ck.enabled:
             ck.link_tlp_delivered(self, ppkt)
+        self.fc.rx_accept(cls)
+        (self._rx_cpl if cls == FLOW_CPL else self._rx_req).append(pkt)
         self.recv_seq += 1
         self._schedule_ack()
+        self._drain_rx()
 
-    def _deliver(self, pkt: Packet) -> bool:
-        if pkt.is_request:
-            return self.master_port.send_timing_req(pkt)
-        return self.slave_port.send_timing_resp(pkt)
+    def _drain_rx(self) -> None:
+        """Push buffered TLPs into the attached component, completions
+        first, returning one credit per drained TLP.
+
+        A refusal parks the queue until the component's port retry; the
+        completion and request queues block independently, so a request
+        flood past the link can never stop completions from draining —
+        the forward-progress guarantee behind PCIe's deadlock freedom.
+        """
+        drained = False
+        queue = self._rx_cpl
+        port = self.slave_port
+        if queue and not port.waiting_for_resp_retry:
+            while queue:
+                if not port.send_timing_resp(queue[0]):
+                    self._count_refusal(queue[0])
+                    break
+                queue.popleft()
+                self._credit_return(FLOW_CPL)
+                drained = True
+        queue = self._rx_req
+        mport = self.master_port
+        if queue and not mport.waiting_for_req_retry:
+            while queue:
+                if not mport.send_timing_req(queue[0]):
+                    self._count_refusal(queue[0])
+                    break
+                pkt = queue.popleft()
+                self._credit_return(pkt.flow_class)
+                drained = True
+        if drained:
+            self._kick_tx()
+
+    def _count_refusal(self, pkt: Packet) -> None:
+        """The attached component refused an RX-buffer drain attempt."""
+        self.delivery_refused.inc()
+        trc = self.tracer
+        if trc.enabled:
+            trc.emit(self.curtick, "link", self.full_name, "tlp_refused",
+                     tlp=trc.tlp_id(pkt.req_id), resp=pkt.is_response)
+
+    def _credit_return(self, cls: int) -> None:
+        """A ``cls`` RX-buffer slot drained: queue the UpdateFC that
+        returns the credit (coalesced — limits are cumulative)."""
+        fc = self.fc
+        fc.rx_drain(cls)
+        self._queue_dllp(PciePacket.update_fc(cls, fc.rx_limit(cls)))
 
     # -- ACK scheduling ---------------------------------------------------------
     def _schedule_ack(self) -> None:
@@ -501,10 +712,20 @@ class PcieLink(SimObject):
             expires (the paper's default); ``"immediate"`` ACKs every
             delivery.
         input_queue_size: TLPs an interface buffers from its component
-            before exerting port backpressure.
+            (per direction: one request queue and one completion queue
+            of this size) before exerting port backpressure.
+        p_credits / np_credits / cpl_credits: per-class receive-buffer
+            slots each interface advertises at link-up — posted,
+            non-posted and completion flow-control credits.  The
+            defaults (6/6/4) sum to the 16-slot aggregate each
+            routing-engine port pool carried before the credit split.
         error_rate: fraction of received TLPs corrupted (NAK path).
-        dllp_error_rate: fraction of received ACK/NAK DLLPs corrupted
-            (discarded; recovery via the replay timeout).
+        dllp_error_rate: fraction of received DLLPs corrupted
+            (discarded; ACK recovery via the replay timeout, UpdateFC
+            recovery via cumulative limits + the FC watchdog).
+        replay_timeout / ack_period / fc_watchdog: timer overrides in
+            ticks; default to the spec formulas in
+            :mod:`repro.pcie.timing`.
     """
 
     def __init__(
@@ -519,22 +740,31 @@ class PcieLink(SimObject):
         max_payload: int = 64,
         ack_policy: str = "timer",
         input_queue_size: int = 2,
+        p_credits: int = 6,
+        np_credits: int = 6,
+        cpl_credits: int = 4,
         error_rate: float = 0.0,
         dllp_error_rate: float = 0.0,
         error_seed: int = 0x5EED,
         replay_timeout: Optional[int] = None,
         ack_period: Optional[int] = None,
+        fc_watchdog: Optional[int] = None,
     ):
         super().__init__(sim, name, parent)
         if replay_buffer_size < 1:
             raise ValueError("replay buffer must hold at least one TLP")
         if ack_policy not in ("timer", "immediate"):
             raise ValueError(f"unknown ack policy {ack_policy!r}")
+        if min(p_credits, np_credits, cpl_credits) < 1:
+            raise ValueError("every flow-control class needs at least one credit")
         self.timing = LinkTiming(gen, width)
         self.replay_buffer_size = replay_buffer_size
         self.max_payload = max_payload
         self.ack_policy = ack_policy
         self.input_queue_size = input_queue_size
+        self.p_credits = p_credits
+        self.np_credits = np_credits
+        self.cpl_credits = cpl_credits
         self.error_rate = error_rate
         self.dllp_error_rate = dllp_error_rate
         self.error_seed = error_seed
@@ -547,6 +777,11 @@ class PcieLink(SimObject):
         )
         self.ack_period = (
             ack_period if ack_period is not None else ack_timer_ticks(gen, width, max_payload)
+        )
+        self.fc_watchdog = (
+            fc_watchdog
+            if fc_watchdog is not None
+            else fc_watchdog_ticks(gen, width, max_payload)
         )
 
         self.upstream_if = PcieLinkInterface(sim, "up_if", self)
@@ -562,13 +797,21 @@ class PcieLink(SimObject):
         self.downstream_if.peer = self.upstream_if
         self.upstream_if.tx_link = self.down_link
         self.upstream_if.peer = self.downstream_if
+        # InitFC: each end installs the peer's advertised receive
+        # capacities as its transmit credit limits.  Modelled as an
+        # instantaneous link-up handshake — no DLLPs on the wire.
+        for iface in (self.upstream_if, self.downstream_if):
+            for cls in (0, 1, 2):
+                iface.fc.advertise(cls, iface.peer.fc.rx_limit(cls))
 
     @property
     def gen(self) -> PcieGen:
+        """The link's PCI-Express generation."""
         return self.timing.gen
 
     @property
     def width(self) -> int:
+        """The link's lane count."""
         return self.timing.width
 
     def config_dict(self) -> dict:
@@ -581,10 +824,14 @@ class PcieLink(SimObject):
             "max_payload": self.max_payload,
             "ack_policy": self.ack_policy,
             "input_queue_size": self.input_queue_size,
+            "p_credits": self.p_credits,
+            "np_credits": self.np_credits,
+            "cpl_credits": self.cpl_credits,
             "error_rate": self.error_rate,
             "dllp_error_rate": self.dllp_error_rate,
             "replay_timeout": self.replay_timeout,
             "ack_period": self.ack_period,
+            "fc_watchdog": self.fc_watchdog,
         }
 
     def __repr__(self) -> str:

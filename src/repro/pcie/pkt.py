@@ -7,20 +7,50 @@ encapsulating a TLP prior to transmission.  Each pcie-pkt returns a size
 depending on whether it encapsulates a TLP or a DLLP."
 
 A :class:`PciePacket` therefore wraps either a memory packet (the TLP)
-tagged with a data-link sequence number, or an ACK/NAK DLLP carrying the
-acknowledged sequence number.
+tagged with a data-link sequence number, or a DLLP.  DLLPs come in two
+families: ACK/NAK carry the acknowledged data-link sequence number, and
+the three UpdateFC types (one per flow-control class, see
+:mod:`repro.pcie.fc`) carry a *cumulative credit limit* in the same
+``seq`` field — both families are cumulative counters, so both coalesce
+to the maximum when queued behind a busy transmitter.
+
+TLP flow-class classification (posted / non-posted / completion) is
+stamped on the wrapped :class:`~repro.mem.packet.Packet` at
+construction; :attr:`PciePacket.flow_class` exposes it.
 """
 
 import enum
 from typing import Optional
 
 from repro.mem.packet import Packet
+from repro.pcie.fc import FlowClass
 from repro.pcie.timing import DLLP_WIRE_BYTES, TLP_OVERHEAD_BYTES
 
 
 class DllpType(enum.Enum):
+    """Data-link-layer packet kinds.
+
+    ``ACK``/``NAK`` acknowledge TLP sequence numbers; the ``UPDATE_FC_*``
+    types return flow-control credits, carrying the cumulative per-class
+    credit limit in the pcie-pkt's ``seq`` field.
+    """
+
     ACK = "ack"
     NAK = "nak"
+    UPDATE_FC_P = "updatefc_p"
+    UPDATE_FC_NP = "updatefc_np"
+    UPDATE_FC_CPL = "updatefc_cpl"
+
+
+#: UpdateFC DllpType for each :class:`FlowClass`, in class order.
+UPDATE_FC_FOR = (
+    DllpType.UPDATE_FC_P,
+    DllpType.UPDATE_FC_NP,
+    DllpType.UPDATE_FC_CPL,
+)
+
+#: Inverse of :data:`UPDATE_FC_FOR`: DllpType -> flow-class int.
+FLOW_CLASS_FOR_DLLP = {t: i for i, t in enumerate(UPDATE_FC_FOR)}
 
 
 class PciePacket:
@@ -49,23 +79,39 @@ class PciePacket:
 
     @classmethod
     def for_tlp(cls, tlp: Packet, seq: int) -> "PciePacket":
+        """Wrap a TLP with its data-link sequence number."""
         return cls(tlp=tlp, seq=seq)
 
     @classmethod
     def ack(cls, seq: int) -> "PciePacket":
+        """An ACK DLLP acknowledging every TLP up to ``seq``."""
         return cls(dllp_type=DllpType.ACK, seq=seq)
 
     @classmethod
     def nak(cls, seq: int) -> "PciePacket":
+        """A NAK DLLP acknowledging up to ``seq``, rejecting the rest."""
         return cls(dllp_type=DllpType.NAK, seq=seq)
+
+    @classmethod
+    def update_fc(cls, flow_class: int, limit: int) -> "PciePacket":
+        """An UpdateFC DLLP advertising a cumulative ``limit`` for
+        ``flow_class`` (a :class:`FlowClass` or its int value)."""
+        return cls(dllp_type=UPDATE_FC_FOR[flow_class], seq=limit)
 
     @property
     def is_tlp(self) -> bool:
+        """True when this pcie-pkt wraps a TLP."""
         return self.tlp is not None
 
     @property
     def is_dllp(self) -> bool:
+        """True when this pcie-pkt wraps a DLLP."""
         return self.dllp_type is not None
+
+    @property
+    def flow_class(self) -> FlowClass:
+        """The wrapped TLP's flow-control class (TLP pcie-pkts only)."""
+        return FlowClass(self.tlp.flow_class)
 
     def wire_bytes(self) -> int:
         """On-wire size per Table I (encoding cost lives in the symbol

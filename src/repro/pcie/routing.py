@@ -19,25 +19,32 @@ the root complex).
 
 **Buffering.**  "Each port associated with the root complex has
 configurable buffers and models the congestion at the port."  Each
-:class:`ComponentPort` owns a pool of ``buffer_size`` packet slots.  A
-packet occupies exactly one slot — at the port it *entered* through —
-for its entire residence in the component: the processing delay
-(``latency``, admitted one per ``service_interval``, the port's
-internal datapath rate) plus however long it waits in its egress queue.
-Holding a single resource per packet keeps the fabric deadlock-free by
-construction (no hold-and-wait), while a full pool refuses ingress —
-which is what the link-layer ACK/NAK protocol turns into the replays
-and timeouts of the paper's Figure 9.
+:class:`ComponentPort` owns a pool of ``buffer_size`` packet slots,
+partitioned by flow-control class — posted, non-posted and completion
+(see :mod:`repro.pcie.fc`) — mirroring the per-class credits the link
+layer advertises.  A packet occupies exactly one slot of its class — at
+the port it *entered* through — for its entire residence in the
+component: the processing delay (``latency``, admitted one per
+``service_interval``, the port's internal datapath rate) plus however
+long it waits in its egress queue.  Holding a single resource per
+packet keeps the fabric deadlock-free by construction (no
+hold-and-wait), while a full class pool refuses ingress — backpressure
+the link layer absorbs into its receive buffers and surfaces to *its*
+peer as per-class credit stalls.
 
-One slot per pool is reserved for responses so that a request flood can
-never starve the response path (requests may hold at most
-``buffer_size − 1`` slots).
+The class partition (completion slots ``max(1, buffer_size // 4)``, the
+remainder split evenly between posted and non-posted, every class at
+least one slot) guarantees completions a dedicated path through every
+engine: a non-posted request flood can fill the NP slots and nothing
+else, so the completions it is waiting on always have somewhere to go —
+the property that used to be approximated by reserving a single slot
+for all responses combined.
 """
 
 from typing import Dict, List, Optional, Tuple
 
 from repro.mem.addr import AddrRange
-from repro.mem.packet import Packet
+from repro.mem.packet import FLOW_CPL, FLOW_NP, FLOW_P, Packet
 from repro.mem.port import MasterPort, PacketQueue, PortError, SlavePort
 from repro.pcie.vp2p import VirtualP2PBridge
 from repro.sim import ticks
@@ -106,7 +113,7 @@ class ComponentPort(SimObject):
         # Egress queues.  Slot accounting lives with the ingress port,
         # so capacity here only needs to cover the whole engine's worst
         # case (every resident packet targeting one egress).
-        capacity = parent.buffer_size * 8
+        capacity = (parent.p_slots + parent.np_slots + parent.cpl_slots) * 8
         self.req_queue = PacketQueue(
             self, "reqq", self.master_port.send_timing_req, capacity
         )
@@ -120,9 +127,10 @@ class ComponentPort(SimObject):
             lambda pkt: parent._packet_left(pkt, is_response=True)
         )
 
-        # The pool: packets resident in the engine that entered here.
-        self._req_slots = 0
-        self._resp_slots = 0
+        # The pool: packets resident in the engine that entered here,
+        # accounted per flow-control class (index with pkt.flow_class).
+        self._slots = [0, 0, 0]
+        self._slot_caps = [parent.p_slots, parent.np_slots, parent.cpl_slots]
         # Recycled ingress-processing events (see _ProcessedEvent).
         self._processed_pool: List[_ProcessedEvent] = []
         # Per-port datapath serialization horizon (used when the engine
@@ -139,28 +147,26 @@ class ComponentPort(SimObject):
     # -- pool accounting ------------------------------------------------------
     @property
     def pool_used(self) -> int:
-        return self._req_slots + self._resp_slots
+        """Total slots in use across the three flow-control classes."""
+        slots = self._slots
+        return slots[0] + slots[1] + slots[2]
 
-    def _try_reserve(self, is_response: bool) -> bool:
-        if self.pool_used >= self.engine.buffer_size:
+    def _try_reserve(self, flow_class: int) -> bool:
+        """Claim a ``flow_class`` slot; False when that class is full.
+
+        Classes never borrow from each other: a non-posted flood can
+        exhaust only the NP slots, leaving posted traffic and — above
+        all — completions their own guaranteed paths through the
+        engine.
+        """
+        if self._slots[flow_class] >= self._slot_caps[flow_class]:
             return False
-        if not is_response and self._req_slots >= self.engine.buffer_size - 1:
-            # The last slot is reserved for responses so a request flood
-            # cannot starve the response path.
-            return False
-        if is_response:
-            self._resp_slots += 1
-        else:
-            self._req_slots += 1
+        self._slots[flow_class] += 1
         return True
 
-    def _release(self, is_response: bool) -> None:
-        if is_response:
-            assert self._resp_slots > 0
-            self._resp_slots -= 1
-        else:
-            assert self._req_slots > 0
-            self._req_slots -= 1
+    def _release(self, flow_class: int) -> None:
+        assert self._slots[flow_class] > 0
+        self._slots[flow_class] -= 1
         self.engine._on_slot_freed()
 
     # -- ingress ------------------------------------------------------------------
@@ -172,7 +178,7 @@ class ComponentPort(SimObject):
 
     def _ingress(self, pkt: Packet, is_response: bool) -> bool:
         trc = self.tracer
-        if not self._try_reserve(is_response):
+        if not self._try_reserve(pkt.flow_class):
             self.ingress_refusals.inc()
             if trc.enabled:
                 trc.emit(self.curtick, "engine", self.full_name,
@@ -219,10 +225,18 @@ class ComponentPort(SimObject):
         assert pushed, "egress capacity covers the engine's worst case"
 
     def retry_refused_peers(self) -> None:
-        """Pool space freed: let refused ingress peers try again."""
-        if self.slave_port.retry_owed and self._req_slots < self.engine.buffer_size - 1:
+        """Pool space freed: let refused ingress peers try again.
+
+        A request retry is useful once either request class has space
+        (the peer resends the same packet, so it may be re-refused when
+        only the other class freed — the next slot release retries
+        again); a response retry needs completion-class space.
+        """
+        slots, caps = self._slots, self._slot_caps
+        if self.slave_port.retry_owed and (
+                slots[FLOW_P] < caps[FLOW_P] or slots[FLOW_NP] < caps[FLOW_NP]):
             self.slave_port.send_retry_req()
-        if self.master_port._resp_retry_owed and self.pool_used < self.engine.buffer_size:
+        if self.master_port._resp_retry_owed and slots[FLOW_CPL] < caps[FLOW_CPL]:
             self.master_port.send_retry_resp()
 
 
@@ -255,11 +269,18 @@ class PcieRoutingEngine(SimObject):
         super().__init__(sim, name, parent)
         if buffer_size < 2:
             raise ValueError("port buffers need at least two slots "
-                             "(one is reserved for responses)")
+                             "(completions always get a dedicated one)")
         if datapath_scope not in ("port", "engine"):
             raise ValueError(f"unknown datapath scope {datapath_scope!r}")
         self.latency = latency
         self.buffer_size = buffer_size
+        # Per-class partition of each port's pool: completions get a
+        # quarter, the remainder splits evenly between posted and
+        # non-posted, and every class gets at least one slot (tiny
+        # pools round up, so their aggregate can exceed buffer_size).
+        self.cpl_slots = max(1, buffer_size // 4)
+        self.p_slots = max(1, (buffer_size - self.cpl_slots) // 2)
+        self.np_slots = max(1, buffer_size - self.cpl_slots - self.p_slots)
         self.service_interval = service_interval
         self.datapath_scope = datapath_scope
         # Shared internal-datapath serialization horizon (see
@@ -296,6 +317,9 @@ class PcieRoutingEngine(SimObject):
             "kind": type(self).__name__,
             "latency": self.latency,
             "buffer_size": self.buffer_size,
+            "p_slots": self.p_slots,
+            "np_slots": self.np_slots,
+            "cpl_slots": self.cpl_slots,
             "service_interval": self.service_interval,
             "datapath_scope": self.datapath_scope,
             "num_downstream_ports": len(self.downstream_ports),
@@ -317,7 +341,7 @@ class PcieRoutingEngine(SimObject):
 
     def _packet_left(self, pkt: Packet, is_response: bool) -> None:
         owner = self._owners.pop((pkt.req_id, is_response))
-        owner._release(is_response)
+        owner._release(pkt.flow_class)
         trc = self.tracer
         if trc.enabled:
             trc.emit(self.eventq.curtick, "engine", owner.full_name, "egress",

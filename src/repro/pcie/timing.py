@@ -133,6 +133,22 @@ def ack_timer_ticks(gen: PcieGen, width: int, max_payload: int) -> int:
     return max(1, replay_timeout_ticks(gen, width, max_payload) // 3)
 
 
+def fc_watchdog_ticks(gen: PcieGen, width: int, max_payload: int) -> int:
+    """Credit-stall watchdog period: twice the replay timeout.
+
+    The PCIe spec obliges receivers to retransmit UpdateFC DLLPs
+    periodically (at least every 30 µs) precisely so a corrupted,
+    discarded UpdateFC cannot starve the transmitter forever.  Rather
+    than streaming periodic DLLPs over idle links (which would defeat
+    quiescence detection), the model arms this watchdog on the
+    *transmitter* when it is credit-blocked with work pending; on
+    expiry the peer re-advertises its current cumulative limits.  Two
+    replay timeouts comfortably covers a full ACK/replay round trip, so
+    the watchdog only fires when an UpdateFC genuinely went missing.
+    """
+    return 2 * replay_timeout_ticks(gen, width, max_payload)
+
+
 class LinkTiming:
     """Wire timing of one link: a generation plus a lane count."""
 

@@ -105,8 +105,13 @@ class LinkSpec:
         replay_buffer_size: unacknowledged-TLP bound per interface.
         ack_policy: ``"immediate"`` or ``"timer"``.
         input_queue_size: component-facing input buffer per interface.
+        p_credits / np_credits / cpl_credits: per-class receive-buffer
+            slots (posted / non-posted / completion flow-control
+            credits) each interface advertises at link-up; the defaults
+            (6/6/4) reproduce the 16-slot aggregate capacity of the
+            pre-split shared pool.
         error_rate: fraction of received TLPs corrupted (NAK path).
-        dllp_error_rate: fraction of ACK/NAK DLLPs corrupted.
+        dllp_error_rate: fraction of DLLPs corrupted.
         error_seed: base seed of the per-interface corruption RNGs.
         propagation_delay: flight time in ticks added after
             serialization.
@@ -119,7 +124,8 @@ class LinkSpec:
 
     FIELDS = (
         "name", "gen", "width", "replay_buffer_size", "ack_policy",
-        "input_queue_size", "error_rate", "dllp_error_rate", "error_seed",
+        "input_queue_size", "p_credits", "np_credits", "cpl_credits",
+        "error_rate", "dllp_error_rate", "error_seed",
         "propagation_delay", "max_payload", "replay_timeout", "ack_period",
     )
 
@@ -131,6 +137,9 @@ class LinkSpec:
         replay_buffer_size: int = 4,
         ack_policy: str = "timer",
         input_queue_size: int = 2,
+        p_credits: int = 6,
+        np_credits: int = 6,
+        cpl_credits: int = 4,
         error_rate: float = 0.0,
         dllp_error_rate: float = 0.0,
         error_seed: int = 0x5EED,
@@ -145,6 +154,9 @@ class LinkSpec:
         self.replay_buffer_size = replay_buffer_size
         self.ack_policy = ack_policy
         self.input_queue_size = input_queue_size
+        self.p_credits = p_credits
+        self.np_credits = np_credits
+        self.cpl_credits = cpl_credits
         self.error_rate = error_rate
         self.dllp_error_rate = dllp_error_rate
         self.error_seed = error_seed
@@ -165,6 +177,10 @@ class LinkSpec:
                  f"link {self.name!r}: unknown ack policy {self.ack_policy!r}")
         _require(self.input_queue_size >= 1,
                  f"link {self.name!r}: input queue must hold >= 1 TLP")
+        for field in ("p_credits", "np_credits", "cpl_credits"):
+            _require(getattr(self, field) >= 1,
+                     f"link {self.name!r}: {field} must be >= 1 "
+                     "(every flow-control class needs a credit)")
 
     def to_dict(self) -> Dict[str, Any]:
         """The link as a canonical-JSON-safe mapping (all fields, always)."""

@@ -332,7 +332,9 @@ def _build_link(sim: Simulator, link: LinkSpec) -> PcieLink:
         propagation_delay=link.propagation_delay,
         replay_buffer_size=link.replay_buffer_size,
         max_payload=link.max_payload, ack_policy=link.ack_policy,
-        input_queue_size=link.input_queue_size, error_rate=link.error_rate,
+        input_queue_size=link.input_queue_size,
+        p_credits=link.p_credits, np_credits=link.np_credits,
+        cpl_credits=link.cpl_credits, error_rate=link.error_rate,
         dllp_error_rate=link.dllp_error_rate, error_seed=link.error_seed,
         **extra,
     )

@@ -257,15 +257,20 @@ def nic_loopback(frames: int = 6, frame_bytes: int = 1500,
 def accel_fanout(copies: int = 4, copy_bytes: int = 16384,
                  seed: int = 1) -> Scenario:
     """Two DMA copy accelerators (the third device kind) fanning DMA
-    read+write bursts through a shared x2 uplink."""
+    read+write bursts through a shared x2 uplink.
+
+    The accelerators run at their device-default DMA depth.  This
+    scenario used to pin ``dma_outstanding: 8`` to dodge the shared
+    buffer pool's request livelock; per-class flow-control credits
+    (see ARCHITECTURE.md, "Flow control & ordering") removed the need.
+    """
     topology = TopologySpec(children=[
         SwitchSpec(name="switch",
                    link=LinkSpec(name="root_uplink", gen="GEN2", width=2),
                    children=[
                        DeviceSpec("accel", name=f"accel{i}",
                                   link=LinkSpec(name=f"accel{i}", gen="GEN2",
-                                                width=1),
-                                  params={"dma_outstanding": 8})
+                                                width=1))
                        for i in range(2)
                    ]),
     ]).finalize()
@@ -279,6 +284,42 @@ def accel_fanout(copies: int = 4, copy_bytes: int = 16384,
                     "two DMA copy accelerators sharing an uplink")
 
 
+def np_storm(writers: int = 2, requests: int = 4, block_bytes: int = 16384,
+             seed: int = 1) -> Scenario:
+    """Concurrent unthrottled ``dd`` writers — a non-posted DMA read
+    storm at the disks' default DMA depth (64 outstanding each).
+
+    This is the exact configuration that used to livelock the fabric
+    when ports kept a single shared buffer pool (known deviation #4,
+    retired): the writers' DMA reads filled every buffer on the path
+    and the completions they waited on had nowhere to land.  With
+    per-class credits (see ARCHITECTURE.md, "Flow control & ordering")
+    a non-posted flood can exhaust only the NP partition, completions
+    always have a dedicated path, and the storm completes.  The
+    scenario stays in the library as the credit-starvation regression:
+    it must finish checker-armed with zero violations, unpinned.
+    """
+    topology = TopologySpec(children=[
+        SwitchSpec(name="switch",
+                   link=LinkSpec(name="root_uplink", gen="GEN2", width=1),
+                   children=[
+                       DeviceSpec("disk", name=f"disk{i}",
+                                  link=LinkSpec(name=f"disk{i}", gen="GEN2",
+                                                width=1))
+                       for i in range(writers)
+                   ]),
+    ]).finalize()
+    flows = [
+        FlowSpec(name=f"writer{i}", kind="dd_write", device=f"disk{i}",
+                 requests=requests, bytes_per_request=block_bytes,
+                 seed=seed + i)
+        for i in range(writers)
+    ]
+    return Scenario(
+        "np_storm", topology, flows,
+        f"{writers} unthrottled dd writers (non-posted DMA read storm)")
+
+
 #: The scenario library: stable name -> zero-argument builder.  Every
 #: entry must run checker-armed with zero violations (CI's
 #: ``scenario-smoke`` job and the test battery enforce it).
@@ -288,6 +329,7 @@ SCENARIOS = {
     "irq_storm": irq_storm,
     "nic_loopback": nic_loopback,
     "accel_fanout": accel_fanout,
+    "np_storm": np_storm,
 }
 
 

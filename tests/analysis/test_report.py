@@ -49,8 +49,10 @@ def test_link_replay_stats_shape():
     stats = link_replay_stats(link)
     assert stats["tlps_sent"] == 0
     assert stats["replay_fraction"] == 0.0
+    assert stats["fc_stall_ticks"] == 0.0
     assert set(stats) == {
-        "tlps_sent", "replays", "timeouts", "replay_fraction", "delivery_refused"
+        "tlps_sent", "replays", "timeouts", "replay_fraction",
+        "delivery_refused", "fc_stall_ticks",
     }
 
 

@@ -11,6 +11,7 @@ import pytest
 from repro.check import InvariantChecker, InvariantViolation
 from repro.mem.packet import MemCmd, Packet
 from repro.mem.port import MasterPort, PortError, SlavePort
+from repro.pcie.fc import CreditLedger
 from repro.pcie.pkt import PciePacket
 from repro.sim.eventq import CallbackEvent
 from repro.sim.simobject import CHECK_ENV, SimObject, Simulator
@@ -34,6 +35,7 @@ class FakeLinkIface:
         self.replay_buffer = []
         self.replay_buffer_size = 2
         self.send_seq = 0
+        self.fc = CreditLedger(6, 6, 4)
 
 
 def tlp(seq, addr=0x1000):
@@ -230,7 +232,7 @@ def test_stuck_input_queue_flagged_at_quiescence():
     sim = Simulator(check=True)
     sim.checker.record_only = True
     link, device, memory = build_dma_path(sim)
-    link.downstream_if.input_queue.append(Packet(MemCmd.READ_REQ, 0, 4))
+    link.downstream_if._in_req.append(Packet(MemCmd.READ_REQ, 0, 4))
     sim.run()
     assert "link.stuck_input_queue" in [v.rule for v in sim.checker.violations]
 

@@ -31,9 +31,11 @@ def test_grid_shape_and_params_are_json_safe():
     sweep = stress_sweep()
     grid = (len(STRESS_ERROR_RATES) * len(STRESS_DLLP_ERROR_RATES)
             * len(STRESS_REPLAY_BUFFERS) * len(STRESS_INPUT_QUEUES))
-    # The full grid plus the checker-armed multi-flow scenario point.
-    assert len(sweep) == grid + 1 == 37
+    # The full grid plus the checker-armed multi-flow and
+    # credit-starvation scenario points.
+    assert len(sweep) == grid + 2 == 38
     assert "multiflow/er0.02" in {p.key for p in sweep.points}
+    assert "np_storm/unpinned" in {p.key for p in sweep.points}
     # SweepPoint construction already validated canonical-JSON-safety;
     # spot-check the campaign's swept knobs are all present.
     point = sweep.points[0]

@@ -13,8 +13,8 @@ SMALL = 16 * 1024  # one-IO-sized block keeps these runs fast
 def test_dd_point_metric_shape_and_json_safety():
     result = dd_point(SMALL)
     assert set(result) == {"throughput_gbps", "transfer_gbps",
-                           "replay_fraction", "timeouts", "tlps_sent",
-                           "device_level_gbps"}
+                           "replay_fraction", "fc_stall_ticks", "timeouts",
+                           "tlps_sent", "device_level_gbps"}
     json.dumps(result)  # must round-trip for the cache
     assert result["throughput_gbps"] > 0
 

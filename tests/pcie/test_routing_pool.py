@@ -61,26 +61,29 @@ def test_pool_refuses_request_flood_but_all_complete():
 
 
 def test_requests_capped_below_pool_size():
-    """At most buffer_size - 1 request slots may ever be in use: one
-    slot stays free for responses."""
+    """Request classes (posted + non-posted) can never consume the
+    completion partition: with buffer_size=4 the pool splits into
+    cpl=1, p=1, np=2, so at most 3 request slots may ever be in use."""
     sim = Simulator()
     rc, cpu, memory, dev_pio, dev_dma = build(
         sim, buffer_size=4, service_interval=ticks.from_ns(200)
     )
+    port = rc.root_ports[0]
+    assert port._slot_caps == [rc.p_slots, rc.np_slots, rc.cpl_slots]
     max_req_slots = {"seen": 0}
-    original = rc.root_ports[0]._try_reserve
+    original = port._try_reserve
 
-    def spy(is_response):
-        ok = original(is_response)
-        max_req_slots["seen"] = max(max_req_slots["seen"],
-                                    rc.root_ports[0]._req_slots)
+    def spy(flow_class):
+        ok = original(flow_class)
+        req_slots = port._slots[0] + port._slots[1]  # P + NP
+        max_req_slots["seen"] = max(max_req_slots["seen"], req_slots)
         return ok
 
-    rc.root_ports[0]._try_reserve = spy
+    port._try_reserve = spy
     for i in range(16):
         dev_dma.write(0x80000000 + 64 * i, 64)
     sim.run(max_events=500_000)
-    assert max_req_slots["seen"] <= 3  # bounded by the pool rules
+    assert max_req_slots["seen"] <= rc.p_slots + rc.np_slots  # == 3
 
 
 def test_mixed_traffic_under_pressure_completes():

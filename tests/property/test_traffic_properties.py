@@ -29,16 +29,17 @@ flow_shapes = st.fixed_dictionaries({
 
 
 def build_fabric(n_disks):
-    # dma_outstanding is throttled as in the scenario library: the model
-    # has a single flow-control class per port (no posted/non-posted/
-    # completion credit split), so several unthrottled non-posted DMA
-    # read streams (dd_write device-side) can fill every buffer with
-    # requests and starve the completions they are waiting on.  Found
-    # by this very property test; see EXPERIMENTS.md "Known deviations".
+    # Disks run at their default DMA depth (64 outstanding).  This
+    # fabric used to need dma_outstanding pinned to 8: with a single
+    # shared buffer pool per port, several unthrottled non-posted DMA
+    # read streams (dd_write device-side) filled every buffer with
+    # requests and starved the completions they were waiting on —
+    # found by this very property test.  Per-class flow-control
+    # credits guarantee completions a dedicated path, so the pin is
+    # gone; see ARCHITECTURE.md, "Flow control & ordering".
     disks = [
         DeviceSpec("disk", name=f"disk{i}",
-                   link=LinkSpec(name=f"disk{i}", gen="GEN2", width=1),
-                   params={"dma_outstanding": 8})
+                   link=LinkSpec(name=f"disk{i}", gen="GEN2", width=1))
         for i in range(n_disks)
     ]
     topology = TopologySpec(children=[

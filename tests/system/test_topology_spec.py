@@ -49,6 +49,31 @@ def test_classic_spec_round_trips_via_spec_from_dict():
     assert again.clock_mhz == 66
 
 
+def test_per_class_credits_round_trip_and_move_the_digest():
+    link = LinkSpec(name="l", p_credits=8, np_credits=2, cpl_credits=3)
+    spec = TopologySpec(children=[DeviceSpec("disk", link=link)]).finalize()
+    doc = json.loads(spec.to_json())
+    assert doc["children"][0]["link"]["p_credits"] == 8
+    assert doc["children"][0]["link"]["np_credits"] == 2
+    assert doc["children"][0]["link"]["cpl_credits"] == 3
+    again = TopologySpec.from_json(spec.to_json())
+    assert again.canonical() == spec.canonical()
+    # The credit knobs are part of the experiment's identity.
+    default = TopologySpec(children=[
+        DeviceSpec("disk", link=LinkSpec(name="l"))]).finalize()
+    assert default.digest() != spec.digest()
+    # Defaults reproduce the pre-split 16-slot aggregate capacity.
+    d = LinkSpec(name="d")
+    assert d.p_credits + d.np_credits + d.cpl_credits == 16
+
+
+def test_zero_credit_class_is_rejected():
+    with pytest.raises(SpecError, match="cpl_credits"):
+        TopologySpec(children=[
+            DeviceSpec("disk", link=LinkSpec(name="l", cpl_credits=0))
+        ]).finalize()
+
+
 def test_canonical_is_order_insensitive_and_digest_tracks_content():
     a = validation_spec()
     b = validation_spec()
