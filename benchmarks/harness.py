@@ -248,6 +248,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="run every point with the runtime invariant "
                              "checker armed (repro.check); checked runs "
                              "cache separately from unchecked ones")
+    parser.add_argument("--checkpoint", action="store_true",
+                        help="build the sweep in checkpoint mode: shared "
+                             "warm-up prefixes are simulated once, "
+                             "snapshotted, and every point forks from the "
+                             "snapshot (sweeps without a checkpoint mode "
+                             "reject this flag)")
     parser.add_argument("--results-dir", default=None, metavar="DIR",
                         help=f"artifact directory (default: {RESULTS_DIR})")
     parser.add_argument("--profile", action="store_true",
@@ -276,13 +282,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"known benchmarks: {known}", file=sys.stderr)
         return 2
 
-    sweep = builder()
+    if args.checkpoint:
+        import inspect
+
+        if "checkpoint" not in inspect.signature(builder).parameters:
+            print(f"error: benchmark {args.benchmark!r} has no checkpoint "
+                  f"mode (sweeps with one take a checkpoint= builder "
+                  f"argument)", file=sys.stderr)
+            return 2
+        sweep = builder(checkpoint=True)
+    else:
+        sweep = builder()
     if args.check:
         # Every point runner accepts a ``check`` kwarg; adding it to the
         # params changes the cache key, so checked results never shadow
-        # (or get served from) the unchecked cache entries.
+        # (or get served from) the unchecked cache entries.  A point's
+        # prefix must describe the same machine as the point itself, so
+        # the flag reaches the prefix params too.
         for point in sweep.points:
             point.params["check"] = True
+            if point.prefix is not None:
+                point.prefix["params"]["check"] = True
     if args.profile:
         path = profile_point(sweep, results_dir=args.results_dir)
         print(f"profile: {path}")

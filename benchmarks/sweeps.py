@@ -19,6 +19,7 @@ from repro.workloads.scenarios import SCENARIOS, fanout_contention, np_storm
 
 #: Dotted runner paths (see repro.exp.points for the implementations).
 DD = "repro.exp.points:dd_point"
+DD_PREFIX = "repro.exp.points:dd_prefix"
 MMIO = "repro.exp.points:mmio_point"
 CLASSIC_PCI = "repro.exp.points:classic_pci_point"
 STRESS = "repro.exp.points:stress_point"
@@ -51,14 +52,44 @@ def fig9a_sweep() -> Sweep:
     return sweep
 
 
-def fig9b_sweep() -> Sweep:
-    """Fig. 9(b): link width x1/x2/x4/x8, all links swept together."""
+#: Warm-up for checkpoint-mode sweeps: one dd block per prefix.  fig9b
+#: warms with a full 64MB-class block — the warm-up is then comparable
+#: to a measured point, which is exactly the regime prefix sharing is
+#: for (the engine pays it once per link width instead of once per
+#: point).  The deep-hierarchy grid warms with its own short block.
+CHECKPOINT_WARM_BLOCKS = 1
+
+
+def _dd_prefix(warm_block_bytes, **system_params):
+    """A dd_prefix declaration over one warm-up block, for one machine."""
+    params = dict(system_params)
+    params["warm_blocks"] = CHECKPOINT_WARM_BLOCKS
+    params["warm_block_bytes"] = warm_block_bytes
+    return {"runner": DD_PREFIX, "params": params}
+
+
+def fig9b_sweep(checkpoint: bool = False) -> Sweep:
+    """Fig. 9(b): link width x1/x2/x4/x8, all links swept together.
+
+    With ``checkpoint=True`` every point runs a 64MB-class warm-up dd
+    before the measured block and declares a shared prefix per link
+    width: the engine simulates the warm-up once per width, checkpoints
+    it, and forks both block sizes from the snapshot.
+    """
+    warm_bytes = config.BLOCK_SIZES["64MB"]
     sweep = Sweep("fig9b")
     for label in FIG9B_BLOCKS:
         for width in config.LINK_WIDTHS:
-            sweep.add(f"{label}/x{width}", DD,
-                      **_dd_params(label, root_link_width=width,
-                                   device_link_width=width))
+            system = dict(config.SYSTEM_DEFAULTS)
+            system.update(root_link_width=width, device_link_width=width)
+            params = _dd_params(label, root_link_width=width,
+                                device_link_width=width)
+            prefix = None
+            if checkpoint:
+                params["warm_blocks"] = CHECKPOINT_WARM_BLOCKS
+                params["warm_block_bytes"] = warm_bytes
+                prefix = _dd_prefix(warm_bytes, **system)
+            sweep.add(f"{label}/x{width}", DD, prefix=prefix, **params)
     return sweep
 
 
@@ -182,7 +213,7 @@ DEEP_HIERARCHY_FANOUTS = (1, 2, 4, 8)
 DEEP_HIERARCHY_BLOCK_BYTES = 64 * 1024
 
 
-def deep_hierarchy_sweep() -> Sweep:
+def deep_hierarchy_sweep(checkpoint: bool = False) -> Sweep:
     """Topology exploration: dd throughput vs switch depth and fan-out.
 
     Each point builds a :func:`repro.system.spec.deep_hierarchy_spec`
@@ -191,18 +222,30 @@ def deep_hierarchy_sweep() -> Sweep:
     decays with every store-and-forward hop the fabric adds.  The full
     serialised spec travels in the point parameters: the result cache
     keys on the exact machine, and the results artifact names it.
+
+    With ``checkpoint=True`` every point warms its fabric with the
+    standard warm-up dd and forks from a per-topology checkpoint (each
+    grid cell is a distinct machine, so no snapshot is shared here —
+    the mode instead exercises restore across all sixteen fabrics).
     """
     sweep = Sweep("deep_hierarchy")
     for depth in DEEP_HIERARCHY_DEPTHS:
         for fanout in DEEP_HIERARCHY_FANOUTS:
             spec = deep_hierarchy_spec(depth, fanout)
-            sweep.add(
-                f"d{depth}/f{fanout}", DD,
+            device = f"sw{depth}_disk{fanout - 1}"
+            params = dict(
                 block_bytes=DEEP_HIERARCHY_BLOCK_BYTES,
                 startup_overhead=config.DD_STARTUP,
                 topology=spec.to_dict(),
-                device=f"sw{depth}_disk{fanout - 1}",
+                device=device,
             )
+            prefix = None
+            if checkpoint:
+                params["warm_blocks"] = CHECKPOINT_WARM_BLOCKS
+                params["warm_block_bytes"] = DEEP_HIERARCHY_BLOCK_BYTES
+                prefix = _dd_prefix(DEEP_HIERARCHY_BLOCK_BYTES,
+                                    topology=spec.to_dict(), device=device)
+            sweep.add(f"d{depth}/f{fanout}", DD, prefix=prefix, **params)
     return sweep
 
 

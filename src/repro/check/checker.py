@@ -80,6 +80,37 @@ class _RingSink:
         """Nothing to flush; the ring lives in memory."""
 
 
+def _resolve_port(sim, full_name: str):
+    """Find the timing port named ``full_name`` on a rebuilt simulator.
+
+    Ports are not SimObjects, so the registry resolves their owner
+    (everything before the last dot) and the port is found by scanning
+    the owner's attributes for a bound port carrying the same full
+    name.  Duck-typed to avoid importing :mod:`repro.mem.port`, which
+    imports this module transitively.
+    """
+    owner_name, _, _leaf = full_name.rpartition(".")
+    owner = sim.find(owner_name)
+    if owner is None:
+        return None
+
+    def _matches(value) -> bool:
+        return (getattr(value, "owner", None) is owner
+                and getattr(value, "full_name", None) == full_name)
+
+    # Ports live either as direct attributes (devices, link interfaces)
+    # or inside list attributes (crossbars keep _slave_ports /
+    # _master_ports lists); scan one level of both.
+    for value in vars(owner).values():
+        if _matches(value):
+            return value
+        if isinstance(value, list):
+            for item in value:
+                if _matches(item):
+                    return item
+    return None
+
+
 class _PairLedger:
     """Request/response accounting for one bound master/slave pair."""
 
@@ -345,6 +376,71 @@ class InvariantChecker:
                 f"replay timeout left {len(iface.replay_buffer)} TLPs "
                 f"unacknowledged with no replay timer scheduled",
             )
+
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpoint the ledgers, keyed by component path.
+
+        Pair ledgers key on master-port objects and link ledgers on
+        interface objects; both serialise by ``full_name`` so a rebuilt
+        twin simulator can re-attach them.  Refused-packet records
+        (``_pending_req``/``_pending_resp``) hold live packets and must
+        be empty — a checkpoint is only taken at a describable boundary,
+        where no retry is owed.
+        """
+        if self._pending_req or self._pending_resp:
+            from repro.sim.checkpoint import CheckpointError
+
+            stuck = [port.full_name for port in self._pending_req] + \
+                    [port.full_name for port in self._pending_resp]
+            raise CheckpointError(
+                f"cannot checkpoint mid-retry: ports still owe retries "
+                f"for refused packets: {stuck}")
+        return {
+            "last_dispatch_tick": self._last_dispatch_tick,
+            "pairs": {
+                port.full_name: [ledger.reqs, ledger.need_resp, ledger.resps]
+                for port, ledger in self._pairs.items()
+            },
+            "links": {
+                iface.full_name: [ledger.last_sent_seq,
+                                  ledger.last_delivered_seq]
+                for iface, ledger in self._links.items()
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Re-key and install captured ledgers onto this simulator.
+
+        Component paths resolve through the simulator's object registry;
+        master ports resolve by scanning the owning object's attributes
+        for the port of the recorded leaf name.
+        """
+        from repro.sim.checkpoint import CheckpointError
+
+        self._last_dispatch_tick = state["last_dispatch_tick"]
+        self._pairs = {}
+        for full_name, (reqs, need_resp, resps) in state["pairs"].items():
+            port = _resolve_port(self.sim, full_name)
+            if port is None:
+                raise CheckpointError(
+                    f"checkpoint names port {full_name!r} but the rebuilt "
+                    f"system has no such port")
+            ledger = _PairLedger()
+            ledger.reqs, ledger.need_resp, ledger.resps = \
+                reqs, need_resp, resps
+            self._pairs[port] = ledger
+        self._links = {}
+        for full_name, (sent, delivered) in state["links"].items():
+            iface = self.sim.find(full_name)
+            if iface is None:
+                raise CheckpointError(
+                    f"checkpoint names link interface {full_name!r} but "
+                    f"the rebuilt system has no such object")
+            ledger = _LinkLedger()
+            ledger.last_sent_seq = sent
+            ledger.last_delivered_seq = delivered
+            self._links[iface] = ledger
 
     # -- quiescence watchdog ----------------------------------------------
     def check_quiescence(self) -> None:

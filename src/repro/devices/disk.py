@@ -208,6 +208,40 @@ class IdeDisk(PcieDevice):
         self.commands_completed.inc()
         self.raise_interrupt()
 
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Register file, written-sector set and command cursors.
+
+        The backing store only ever holds zero-filled sectors (writes
+        record ``bytes(sector_size)``), so the checkpoint carries just
+        the written LBAs.  A busy device has DMA events and packets in
+        flight that a quiescent checkpoint cannot describe.
+        """
+        if self.busy:
+            from repro.sim.checkpoint import CheckpointError
+
+            raise CheckpointError(
+                f"{self.full_name} has a DMA command in progress; "
+                f"checkpoints require an idle device")
+        return {
+            "regs": {str(offset): value for offset, value in self._regs.items()},
+            "written_lbas": sorted(self._store),
+            "sectors_remaining": self._sectors_remaining,
+            "current_lba": self._current_lba,
+            "current_buf": self._current_buf,
+            "is_write_command": self._is_write_command,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore registers and the written-sector set."""
+        self._regs = {int(offset): value for offset, value in state["regs"].items()}
+        self._store = {int(lba): bytes(self.sector_size)
+                       for lba in state["written_lbas"]}
+        self._sectors_remaining = state["sectors_remaining"]
+        self._current_lba = state["current_lba"]
+        self._current_buf = state["current_buf"]
+        self._is_write_command = state["is_write_command"]
+
     # -- introspection -----------------------------------------------------------
     @property
     def busy(self) -> bool:

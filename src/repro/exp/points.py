@@ -28,8 +28,8 @@ from repro.workloads.dd import DdWorkload
 from repro.workloads.mmio import MmioReadBench
 from repro.workloads.scenarios import Scenario, run_scenario
 
-__all__ = ["dd_point", "mmio_point", "classic_pci_point", "stress_point",
-           "scenario_point"]
+__all__ = ["dd_point", "dd_prefix", "mmio_point", "classic_pci_point",
+           "stress_point", "scenario_point"]
 
 #: Guard against wedged simulations when a point runs unattended in a
 #: worker process; matches the benchmark harness's historical bound.
@@ -50,44 +50,15 @@ def _system_kwargs(gen: Optional[str], switch_latency_ns: Optional[int],
     return kwargs
 
 
-def dd_point(block_bytes: int, startup_overhead: int = 0,
-             gen: Optional[str] = None,
-             switch_latency_ns: Optional[int] = None,
-             rc_latency_ns: Optional[int] = None,
-             topology: Optional[Dict[str, Any]] = None,
-             device: Optional[str] = None,
-             **system_kwargs: Any) -> Dict[str, float]:
-    """Run one ``dd`` transfer — on the paper's validation topology by
-    default, or on any machine a serialised topology spec describes.
+def _build_dd_system(gen: Optional[str], switch_latency_ns: Optional[int],
+                     rc_latency_ns: Optional[int],
+                     topology: Optional[Dict[str, Any]],
+                     device: Optional[str], system_kwargs: Dict[str, Any]):
+    """Build the machine a dd point (or prefix) runs on.
 
-    Args:
-        block_bytes: bytes transferred by the single ``dd`` block.
-        startup_overhead: dd's fixed software startup cost, in ticks.
-        gen: PCIe generation name (``"GEN1"``/``"GEN2"``/``"GEN3"``), or
-            None for the topology default.
-        switch_latency_ns: switch store-and-forward latency in ns, or
-            None for the default.
-        rc_latency_ns: root-complex latency in ns, or None for the
-            default.
-        topology: a :meth:`repro.system.spec.TopologySpec.to_dict`
-            document to build instead of the validation topology.  The
-            whole document lands in the point's parameters, so the
-            result cache keys on the canonical serialisation of the
-            exact machine.  Mutually exclusive with the
-            validation-builder knobs (``gen``, ``switch_latency_ns``,
-            ``rc_latency_ns``, ``**system_kwargs``).
-        device: instance name of the disk ``dd`` targets (its link
-            shares the name); None uses the topology's sole disk.
-        **system_kwargs: further JSON-safe keyword arguments passed to
-            :func:`repro.system.topology.build_validation_system`
-            (``root_link_width``, ``replay_buffer_size``, ``check``,
-            ...); with ``topology=`` only ``check`` is accepted.
-
-    Returns:
-        Flat metrics dict: dd-level and transfer-level throughput,
-        replay fraction, credit-stall ticks, timeout and TLP counts,
-        and device-level per-sector throughput — everything Figures
-        9(a–d) and the device-level check consume.
+    Shared by :func:`dd_point` and :func:`dd_prefix` so a forked point
+    rebuilds *exactly* the system its checkpoint was captured on.
+    Returns ``(system, driver, disk, link)``.
     """
     if topology is not None:
         if gen is not None or switch_latency_ns is not None \
@@ -114,6 +85,76 @@ def dd_point(block_bytes: int, startup_overhead: int = 0,
         if driver is None:
             raise ValueError("topology has no unambiguous disk; "
                              "name the target with device=")
+    return system, driver, disk, link
+
+
+def dd_point(block_bytes: int, startup_overhead: int = 0,
+             gen: Optional[str] = None,
+             switch_latency_ns: Optional[int] = None,
+             rc_latency_ns: Optional[int] = None,
+             topology: Optional[Dict[str, Any]] = None,
+             device: Optional[str] = None,
+             warm_blocks: int = 0,
+             warm_block_bytes: int = 0,
+             resume_from: Optional[Dict[str, Any]] = None,
+             **system_kwargs: Any) -> Dict[str, float]:
+    """Run one ``dd`` transfer — on the paper's validation topology by
+    default, or on any machine a serialised topology spec describes.
+
+    Args:
+        block_bytes: bytes transferred by the single ``dd`` block.
+        startup_overhead: dd's fixed software startup cost, in ticks.
+        gen: PCIe generation name (``"GEN1"``/``"GEN2"``/``"GEN3"``), or
+            None for the topology default.
+        switch_latency_ns: switch store-and-forward latency in ns, or
+            None for the default.
+        rc_latency_ns: root-complex latency in ns, or None for the
+            default.
+        topology: a :meth:`repro.system.spec.TopologySpec.to_dict`
+            document to build instead of the validation topology.  The
+            whole document lands in the point's parameters, so the
+            result cache keys on the canonical serialisation of the
+            exact machine.  Mutually exclusive with the
+            validation-builder knobs (``gen``, ``switch_latency_ns``,
+            ``rc_latency_ns``, ``**system_kwargs``).
+        device: instance name of the disk ``dd`` targets (its link
+            shares the name); None uses the topology's sole disk.
+        warm_blocks / warm_block_bytes: when ``warm_blocks > 0`` and
+            ``resume_from`` is None, run a warm-up ``dd`` of
+            ``warm_blocks`` blocks of ``warm_block_bytes`` bytes to
+            completion before the measured block — the cold (tick-0)
+            equivalent of resuming from a :func:`dd_prefix` checkpoint
+            with the same warm parameters.
+        resume_from: a checkpoint document captured by
+            :func:`dd_prefix` on the *same* system parameters; the
+            point rebuilds the machine, restores the snapshot and runs
+            only the measured block.  Injected by the sweep engine for
+            points declaring a prefix — never place it in sweep params
+            yourself (the cache must key on ``resume_digest`` instead).
+        **system_kwargs: further JSON-safe keyword arguments passed to
+            :func:`repro.system.topology.build_validation_system`
+            (``root_link_width``, ``replay_buffer_size``, ``check``,
+            ...); with ``topology=`` only ``check`` is accepted.
+
+    Returns:
+        Flat metrics dict: dd-level and transfer-level throughput,
+        replay fraction, credit-stall ticks, timeout and TLP counts,
+        and device-level per-sector throughput — everything Figures
+        9(a–d) and the device-level check consume.
+    """
+    system, driver, disk, link = _build_dd_system(
+        gen, switch_latency_ns, rc_latency_ns, topology, device,
+        system_kwargs)
+    if resume_from is not None:
+        system.sim.restore(resume_from)
+    elif warm_blocks > 0:
+        warm = DdWorkload(system.kernel, driver, warm_block_bytes,
+                          count=warm_blocks)
+        warm_process = system.kernel.spawn("dd", warm.run())
+        system.run(max_events=_MAX_EVENTS)
+        if not warm_process.done:
+            raise RuntimeError("warm-up dd did not finish — "
+                               "simulation wedged?")
     dd = DdWorkload(system.kernel, driver, block_bytes,
                     startup_overhead=startup_overhead)
     process = system.kernel.spawn("dd", dd.run())
@@ -135,6 +176,48 @@ def dd_point(block_bytes: int, startup_overhead: int = 0,
             else 0.0
         ),
     }
+
+
+def dd_prefix(warm_blocks: int, warm_block_bytes: int,
+              gen: Optional[str] = None,
+              switch_latency_ns: Optional[int] = None,
+              rc_latency_ns: Optional[int] = None,
+              topology: Optional[Dict[str, Any]] = None,
+              device: Optional[str] = None,
+              **system_kwargs: Any) -> Dict[str, Any]:
+    """Simulate a dd warm-up phase and return its checkpoint document.
+
+    This is the *prefix runner* paired with :func:`dd_point`: a sweep
+    point declares ``prefix={"runner": "repro.exp.points:dd_prefix",
+    "params": {...}}`` with the same system parameters as the point,
+    and the engine runs this once per distinct parameter set, feeding
+    the snapshot to every declaring point as ``resume_from``.
+
+    Args:
+        warm_blocks: number of warm-up dd blocks to run to completion.
+        warm_block_bytes: bytes per warm-up block.
+        gen / switch_latency_ns / rc_latency_ns / topology / device /
+            **system_kwargs: identical meaning to :func:`dd_point` —
+            the forked point must rebuild exactly this machine.
+
+    Returns:
+        The checkpoint document from :func:`repro.sim.checkpoint.capture`
+        at software quiescence (the event queue is empty, so every
+        pending-event describability rule is trivially satisfied).
+    """
+    if warm_blocks < 1:
+        raise ValueError("dd_prefix needs warm_blocks >= 1; a zero-length "
+                         "prefix has nothing to checkpoint")
+    system, driver, _disk, _link = _build_dd_system(
+        gen, switch_latency_ns, rc_latency_ns, topology, device,
+        system_kwargs)
+    warm = DdWorkload(system.kernel, driver, warm_block_bytes,
+                      count=warm_blocks)
+    warm_process = system.kernel.spawn("dd", warm.run())
+    system.run(max_events=_MAX_EVENTS)
+    if not warm_process.done:
+        raise RuntimeError("warm-up dd did not finish — simulation wedged?")
+    return system.sim.checkpoint()
 
 
 def mmio_point(rc_latency_ns: int, iterations: int = 50,

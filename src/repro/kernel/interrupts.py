@@ -65,6 +65,27 @@ class InterruptController(SimObject):
         self.schedule(self.dispatch_latency, lambda: self._dispatch(line),
                       name=f"irq{line}")
 
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """The handler-invocation counter behind ``irq{line}_{n}`` names.
+
+        A pending (not yet dispatched) interrupt has a closure event in
+        flight that cannot be described, so a checkpoint requires all
+        lines idle.
+        """
+        pending = sorted(line for line, armed in self._pending.items() if armed)
+        if pending:
+            from repro.sim.checkpoint import CheckpointError
+
+            raise CheckpointError(
+                f"{self.full_name} has undispatched interrupt(s) on "
+                f"line(s) {pending}; checkpoints require an idle controller")
+        return {"counter": self._counter}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Continue handler-process numbering from the captured run."""
+        self._counter = state["counter"]
+
     def _dispatch(self, line: int) -> None:
         self._pending[line] = False
         self.dispatched.inc()

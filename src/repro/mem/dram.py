@@ -96,6 +96,25 @@ class SimpleMemory(SimObject):
         assert pushed, "in-flight bound matches queue capacity"
         return True
 
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> dict:
+        """The bandwidth-serialization horizon.
+
+        In-flight accesses hold live packets in the response queue, so a
+        checkpoint is only valid while the controller is idle.
+        """
+        if self._in_flight:
+            from repro.sim.checkpoint import CheckpointError
+
+            raise CheckpointError(
+                f"{self.full_name} has {self._in_flight} access(es) in "
+                f"flight; checkpoints require an idle memory controller")
+        return {"next_free": self._next_free}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the serialization horizon onto this rebuilt memory."""
+        self._next_free = state["next_free"]
+
     def _send_response(self, pkt: Packet) -> bool:
         if not self.port.send_timing_resp(pkt):
             return False

@@ -229,6 +229,39 @@ class IOCache(SimObject):
         pushed = self._mem_queue.push(writeback, self.lookup_latency)
         assert pushed, "_can_allocate reserved a slot"
 
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> dict:
+        """Cache contents: per-set ``[tag, dirty]`` pairs in LRU order.
+
+        Tag arrays persist across quiescence and determine every future
+        hit/miss, so they must be captured exactly — including the LRU
+        recency ordering, which JSON lists preserve.  Outstanding misses
+        and writebacks hold live packets, so a busy cache refuses to
+        checkpoint.
+        """
+        if self._outstanding or self._writebacks_in_flight:
+            from repro.sim.checkpoint import CheckpointError
+
+            raise CheckpointError(
+                f"{self.full_name} has {len(self._outstanding)} outstanding "
+                f"miss(es) and {self._writebacks_in_flight} writeback(s) in "
+                f"flight; checkpoints require an idle cache")
+        return {
+            "sets": {
+                str(index): [[line.tag, line.dirty] for line in lines.values()]
+                for index, lines in self._sets.items() if lines
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Repopulate the tag arrays captured by :meth:`state_dict`."""
+        for lines in self._sets.values():
+            lines.clear()
+        for index, entries in state["sets"].items():
+            cache_set = self._sets[int(index)]
+            for tag, dirty in entries:
+                cache_set[tag] = _Line(tag, dirty)
+
     # -- response path -----------------------------------------------------------
     def _recv_mem_response(self, pkt: Packet) -> bool:
         original = self._outstanding.get(pkt.req_id)

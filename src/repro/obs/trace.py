@@ -181,6 +181,7 @@ class Tracer:
         self.enabled = False
         self.categories = frozenset(categories) if categories is not None else None
         self._tlp_ids: Dict[int, int] = {}
+        self._next_tlp_id = 0
 
     # -- sink management ---------------------------------------------------
     def attach(self, sink: TraceSink) -> TraceSink:
@@ -201,11 +202,33 @@ class Tracer:
 
     # -- identity ----------------------------------------------------------
     def tlp_id(self, req_id: int) -> int:
-        """Dense, run-local id for a packet (see module docstring)."""
+        """Dense, run-local id for a packet (see module docstring).
+
+        Allocation uses an explicit counter rather than ``len(dict)``
+        so a checkpoint can carry the counter forward without carrying
+        the ``req_id`` mapping: a restored process's packets get fresh
+        process-global ``req_id`` values, so stale mapping keys could
+        otherwise collide with them and hand out old ids.
+        """
         tid = self._tlp_ids.get(req_id)
         if tid is None:
-            tid = self._tlp_ids[req_id] = len(self._tlp_ids)
+            tid = self._tlp_ids[req_id] = self._next_tlp_id
+            self._next_tlp_id += 1
         return tid
+
+    # -- checkpointing -----------------------------------------------------
+    def state_dict(self) -> dict:
+        """The sequence counter a restored run must continue from."""
+        return {"next_tlp_id": self._next_tlp_id}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Continue dense-id allocation where the captured run stopped.
+
+        The ``req_id -> tlp_id`` mapping itself is deliberately dropped:
+        it keys on process-global packet ids that a restored process
+        re-allocates from scratch (see :meth:`tlp_id`)."""
+        self._tlp_ids = {}
+        self._next_tlp_id = state["next_tlp_id"]
 
     # -- emission ----------------------------------------------------------
     def emit(self, t: int, cat: str, comp: str, ev: str, **fields) -> None:

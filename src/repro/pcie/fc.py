@@ -162,3 +162,31 @@ class CreditLedger:
     def stalled(self, cls: int) -> bool:
         """True while ``cls``'s stall clock is running."""
         return self._stall_since[cls] >= 0
+
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> dict:
+        """Both accounts plus the stall clocks, as JSON-safe lists.
+
+        ``rx_capacity`` is construction-time configuration and is *not*
+        captured — the rebuilt twin already has it, and restoring into a
+        ledger with different capacities would silently corrupt the
+        cumulative arithmetic, so :meth:`load_state_dict` only overlays
+        the dynamic accounts.
+        """
+        return {
+            "rx_held": list(self.rx_held),
+            "rx_drained": list(self.rx_drained),
+            "tx_limit": list(self.tx_limit),
+            "tx_consumed": list(self.tx_consumed),
+            "stall_ticks": list(self.stall_ticks),
+            "stall_since": list(self._stall_since),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Overlay captured credit accounts onto this (rebuilt) ledger."""
+        self.rx_held = [int(v) for v in state["rx_held"]]
+        self.rx_drained = [int(v) for v in state["rx_drained"]]
+        self.tx_limit = [int(v) for v in state["tx_limit"]]
+        self.tx_consumed = [int(v) for v in state["tx_consumed"]]
+        self.stall_ticks = [int(v) for v in state["stall_ticks"]]
+        self._stall_since = [int(v) for v in state["stall_since"]]

@@ -690,6 +690,54 @@ class PcieLinkInterface(SimObject):
         self._queue_dllp(PciePacket.ack(self.recv_seq - 1))
         self._kick_tx()
 
+    # -- checkpointing ----------------------------------------------------
+    def state_dict(self) -> dict:
+        """Sequence counters, credit accounts and the error-injection RNG.
+
+        The in-flight buffers (replay buffer, retransmit/DLLP queues,
+        component-facing input queues, RX buffers) hold live packet
+        objects that cannot be described by owner-path + method-name, so
+        a checkpoint is only valid while they are all empty — which they
+        are at software quiescence, the supported checkpoint boundary.
+        A non-empty buffer raises :class:`~repro.sim.checkpoint.
+        CheckpointError` instead of silently dropping traffic.
+        """
+        pending = {
+            "replay_buffer": self.replay_buffer,
+            "retransmit_queue": self.retransmit_queue,
+            "dllp_queue": self.dllp_queue,
+            "in_req": self._in_req,
+            "in_cpl": self._in_cpl,
+            "rx_req": self._rx_req,
+            "rx_cpl": self._rx_cpl,
+        }
+        busy = sorted(name for name, queue in pending.items() if queue)
+        if busy:
+            from repro.sim.checkpoint import CheckpointError
+
+            raise CheckpointError(
+                f"{self.full_name} has in-flight packets in {busy}; "
+                f"checkpoints require a quiescent link")
+        rng_state = self._rng.getstate()
+        return {
+            "send_seq": self.send_seq,
+            "recv_seq": self.recv_seq,
+            "have_unacked_delivery": self._have_unacked_delivery,
+            "fc": self.fc.state_dict(),
+            # getstate() is (version, tuple-of-ints, gauss_next) —
+            # flattened to JSON-safe lists, rebuilt in load_state_dict.
+            "rng": [rng_state[0], list(rng_state[1]), rng_state[2]],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Overlay captured counters/credits onto this rebuilt interface."""
+        self.send_seq = state["send_seq"]
+        self.recv_seq = state["recv_seq"]
+        self._have_unacked_delivery = state["have_unacked_delivery"]
+        self.fc.load_state_dict(state["fc"])
+        rng_state = state["rng"]
+        self._rng.setstate((rng_state[0], tuple(rng_state[1]), rng_state[2]))
+
 
 class PcieLink(SimObject):
     """A full-duplex PCI-Express link.

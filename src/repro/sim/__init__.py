@@ -14,6 +14,14 @@ configuration produce identical results.
 
 from repro.sim.eventq import Event, EventQueue, CallbackEvent
 from repro.sim.simobject import SimObject, Simulator
+from repro.sim.checkpoint import (
+    CheckpointError,
+    capture,
+    restore,
+    checkpoint_digest,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.sim.process import Process, Signal, Delay, WaitFor
 from repro.sim import ticks
 from repro.sim.stats import (
@@ -42,4 +50,10 @@ __all__ = [
     "Distribution",
     "Formula",
     "StatGroup",
+    "CheckpointError",
+    "capture",
+    "restore",
+    "checkpoint_digest",
+    "read_checkpoint",
+    "write_checkpoint",
 ]

@@ -1,0 +1,265 @@
+"""Versioned simulation checkpoints: snapshot a live simulator, restore
+a freshly built twin, continue byte-identically.
+
+A checkpoint is a JSON-safe document produced by :func:`capture` and
+consumed by :func:`restore`.  It deliberately contains **no pickled
+objects**: everything in it is either a scalar, a name, or a small
+structure of scalars, so checkpoints survive code changes that pickle
+would not and can be diffed, digested and cached like any other result
+artifact.
+
+**Rebuild + overlay.**  Restoring does not resurrect Python objects
+from bytes.  Instead the caller rebuilds the simulated system fresh
+from its topology spec (a deterministic, purely functional step — boot
+enumeration schedules nothing), then calls :func:`restore` to overlay
+the captured dynamic state onto the rebuilt twin:
+
+* the event queue's clock, sequence counter and pending events;
+* every registered :class:`~repro.sim.simobject.SimObject`'s
+  ``state_dict()``, matched by dotted full name;
+* every statistic's value, matched by dotted stat path;
+* the tracer's dense TLP-id counter;
+* the invariant checker's per-port and per-link ledgers.
+
+After the overlay, running the restored simulator produces the same
+events at the same ticks with the same insertion sequence numbers as
+the captured simulator would have — stats, traces and golden outputs
+are byte-identical to never having checkpointed at all.
+
+**Describable events.**  Pending events are captured as
+``(when, priority, seq)`` plus an *owner path + method name* pair: the
+event must be a :class:`~repro.sim.eventq.CallbackEvent` whose callback
+is a bound method of a registered SimObject.  Restore resolves the
+owner through the simulator's registry and — crucially — reuses the
+owner's existing recycled event handle when it keeps one
+(:meth:`~repro.sim.simobject.SimObject.resolve_event`), so a component
+that later deschedules ``self._ack_event`` deschedules the very
+instance the checkpoint re-armed.  Lambdas, closures and pool events
+are not describable and raise :class:`CheckpointError` — which is why
+the natural checkpoint boundary is **software quiescence** (a drained
+run), where the queue is empty and every component's in-flight buffers
+are too.  Mid-run checkpoints work whenever all pending events happen
+to be describable (the property-test suite exercises this).
+"""
+
+import hashlib
+import json
+from typing import Dict, List
+
+from repro.sim.eventq import CallbackEvent
+
+#: Identifies checkpoint documents; consumers reject anything else.
+CHECKPOINT_FORMAT = "repro-checkpoint"
+
+#: Bumped whenever the document layout or the meaning of a field
+#: changes; restore refuses versions it does not understand rather than
+#: silently misreading state.
+CHECKPOINT_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A simulation state that cannot be captured, or a snapshot that
+    cannot be applied to the rebuilt simulator it was offered to."""
+
+
+def _describe_event(sim, entry) -> Dict:
+    """Describe one live queue entry as owner-path + method-name.
+
+    ``entry`` is the queue's internal ``[when, priority, seq, event]``
+    list.  Raises :class:`CheckpointError` for events that are not
+    bound-method callbacks of registered objects — those cannot be
+    reconstructed by name on the restore side.
+    """
+    when, priority, seq, event = entry
+    if not isinstance(event, CallbackEvent):
+        raise CheckpointError(
+            f"cannot checkpoint pending event {event!r} at tick {when}: "
+            f"only CallbackEvents bound to registered SimObjects are "
+            f"describable (this is a {type(event).__name__})")
+    callback = event._callback
+    owner = getattr(callback, "__self__", None)
+    owner_name = getattr(owner, "full_name", None)
+    if owner is None or owner_name is None or sim.find(owner_name) is not owner:
+        raise CheckpointError(
+            f"cannot checkpoint pending event {event.name!r} at tick "
+            f"{when}: its callback {callback!r} is not a bound method of "
+            f"a registered SimObject")
+    method = getattr(callback, "__name__", "")
+    if getattr(owner, method, None) != callback:
+        raise CheckpointError(
+            f"cannot checkpoint pending event {event.name!r}: "
+            f"{owner_name}.{method} does not resolve back to its callback")
+    return {
+        "when": when,
+        "priority": priority,
+        "seq": seq,
+        "owner": owner_name,
+        "method": method,
+        "name": event.name,
+    }
+
+
+def capture(sim) -> Dict:
+    """Snapshot ``sim`` into a JSON-safe checkpoint document.
+
+    Raises:
+        CheckpointError: when a pending event is not describable or a
+            component holds in-flight packets (its ``state_dict`` guards
+            fire) — checkpoints never silently drop simulation state.
+    """
+    entries = sorted(sim.eventq.live_entries(),
+                     key=lambda e: (e[0], e[1], e[2]))
+    events = [_describe_event(sim, entry) for entry in entries]
+    objects: Dict[str, Dict] = {}
+    for obj in sim.objects:
+        state = obj.state_dict()
+        if state:
+            objects[obj.full_name] = state
+    stats: Dict[str, Dict] = {}
+    for name, stat in sim.stats.walk(""):
+        state = stat.state_dict()
+        if state is not None:
+            stats[name] = state
+    return {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "sim_name": sim.name,
+        "eventq": sim.eventq.state_dict(),
+        "events": events,
+        "objects": objects,
+        "stats": stats,
+        "tracer": sim.tracer.state_dict(),
+        "checker": sim.checker.state_dict(),
+    }
+
+
+def _reconstruct_event(sim, doc: Dict, used: set) -> CallbackEvent:
+    """Turn one captured event description back into a live event.
+
+    Prefers the owner's existing recycled handle (bound-method identity
+    — see :meth:`SimObject.resolve_event`); falls back to a fresh
+    :class:`CallbackEvent` carrying the captured name and priority for
+    events whose handle the owner does not keep (one-shot schedules).
+    A handle can be scheduled only once, so when several pending events
+    wrap the same method the earliest (in dispatch order) gets the
+    recycled handle and the rest become fresh events — ``used`` tracks
+    the handles already claimed within this restore.
+    """
+    owner = sim.find(doc["owner"])
+    if owner is None:
+        raise CheckpointError(
+            f"checkpoint schedules an event on {doc['owner']!r} but the "
+            f"rebuilt system has no such object")
+    method = getattr(owner, doc["method"], None)
+    if method is None:
+        raise CheckpointError(
+            f"checkpoint schedules {doc['owner']}.{doc['method']} but the "
+            f"rebuilt object has no such method")
+    event = owner.resolve_event(doc["method"])
+    if event is None or id(event) in used:
+        event = CallbackEvent(method, priority=doc["priority"],
+                              name=doc["name"])
+    else:
+        used.add(id(event))
+    return event
+
+
+def restore(sim, snapshot: Dict) -> None:
+    """Overlay a :func:`capture` document onto a freshly built twin.
+
+    ``sim`` must be rebuilt from the same topology spec as the captured
+    simulator and must not have run yet: its event queue has to be
+    empty (construction schedules nothing) so the restored entries are
+    the only pending work.
+
+    Raises:
+        CheckpointError: on format/version mismatch, a non-empty target
+            queue, or any name in the snapshot that the rebuilt system
+            cannot resolve (object, stat, port or method).
+    """
+    if snapshot.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"not a checkpoint document (format="
+            f"{snapshot.get('format')!r}, expected {CHECKPOINT_FORMAT!r})")
+    if snapshot.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {snapshot.get('version')!r} is not "
+            f"supported (this build reads version {CHECKPOINT_VERSION})")
+    if not sim.eventq.empty():
+        raise CheckpointError(
+            "restore target must be a freshly built simulator with an "
+            "empty event queue — rebuild the system from its spec, then "
+            "restore before running")
+    for full_name, state in snapshot["objects"].items():
+        obj = sim.find(full_name)
+        if obj is None:
+            raise CheckpointError(
+                f"checkpoint carries state for {full_name!r} but the "
+                f"rebuilt system has no such object — topology mismatch")
+        obj.load_state_dict(state)
+    stat_map = dict(sim.stats.walk(""))
+    for name, state in snapshot["stats"].items():
+        stat = stat_map.get(name)
+        if stat is None:
+            raise CheckpointError(
+                f"checkpoint carries statistic {name!r} but the rebuilt "
+                f"system has no such stat — topology mismatch")
+        stat.load_state_dict(state)
+    sim.tracer.load_state_dict(snapshot["tracer"])
+    sim.checker.load_state_dict(snapshot["checker"])
+    used: set = set()
+    entries = [
+        (doc["when"], doc["priority"], doc["seq"],
+         _reconstruct_event(sim, doc, used))
+        for doc in snapshot["events"]
+    ]
+    sim.eventq.load_state_dict(snapshot["eventq"], entries)
+
+
+def checkpoint_json(snapshot: Dict) -> str:
+    """Canonical serialization: sorted keys, no whitespace.
+
+    Two captures of identical simulation states produce identical
+    bytes, which is what makes :func:`checkpoint_digest` a usable cache
+    key component.
+    """
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+
+
+def checkpoint_digest(snapshot: Dict) -> str:
+    """SHA-256 of the canonical serialization.
+
+    The experiment engine folds this into forked points' result-cache
+    keys: a point resumed from a different prefix state must never hit
+    a result cached under the old one.
+    """
+    return hashlib.sha256(checkpoint_json(snapshot).encode()).hexdigest()
+
+
+def write_checkpoint(snapshot: Dict, path: str) -> None:
+    """Write a checkpoint document to ``path`` (canonical JSON)."""
+    with open(path, "w") as fh:
+        fh.write(checkpoint_json(snapshot))
+        fh.write("\n")
+
+
+def read_checkpoint(path: str) -> Dict:
+    """Read a checkpoint document written by :func:`write_checkpoint`."""
+    with open(path) as fh:
+        snapshot = json.load(fh)
+    if snapshot.get("format") != CHECKPOINT_FORMAT:
+        raise CheckpointError(f"{path} is not a checkpoint document")
+    return snapshot
+
+
+__all__: List[str] = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "capture",
+    "restore",
+    "checkpoint_json",
+    "checkpoint_digest",
+    "write_checkpoint",
+    "read_checkpoint",
+]

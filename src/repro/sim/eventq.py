@@ -147,7 +147,10 @@ class EventQueue:
         # Set by the owning Simulator; a bare EventQueue is unchecked.
         self.checker = None
         self.curtick: int = 0
-        self._counter = itertools.count()
+        # Insertion sequence for (tick, priority, seq) ordering.  A plain
+        # int rather than itertools.count() so a checkpoint can record it
+        # without consuming a value (see :mod:`repro.sim.checkpoint`).
+        self._next_seq = 0
         self._stop_requested = False
         # Number of events processed since construction; handy both for
         # statistics and for runaway-simulation guards in tests.
@@ -187,7 +190,9 @@ class EventQueue:
         if event._entry is not None:
             raise RuntimeError(f"{event!r} is already scheduled")
         event._when = when
-        entry = [when, event.priority, next(self._counter), event]
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        entry = [when, event.priority, seq, event]
         event._entry = entry
         self._live += 1
         offset = when - self._wheel_tick
@@ -243,6 +248,82 @@ class EventQueue:
         if event._entry is not None:
             self.deschedule(event)
         return self.schedule(event, when)
+
+    # -- checkpointing -----------------------------------------------------
+    def live_entries(self) -> List[list]:
+        """Every live (non-squashed) entry across all three tiers.
+
+        Entries are the queue's internal ``[when, priority, seq, event]``
+        lists, returned in no particular order — callers that need the
+        dispatch order sort by the ``(when, priority, seq)`` prefix.
+        Used by :mod:`repro.sim.checkpoint` to describe pending events.
+        """
+        entries = [e for e in self._active[self._active_pos:]
+                   if e[3] is not None]
+        for bucket in self._buckets:
+            if bucket:
+                entries.extend(e for e in bucket if e[3] is not None)
+        entries.extend(e for e in self._heap if e[3] is not None)
+        return entries
+
+    def state_dict(self) -> dict:
+        """Scalar scheduler state for a checkpoint (no events).
+
+        Pending events are captured separately via :meth:`live_entries`
+        because they need callback reconstruction, not raw copying.
+        """
+        return {
+            "curtick": self.curtick,
+            "next_seq": self._next_seq,
+            "events_processed": self.events_processed,
+        }
+
+    def load_state_dict(self, state: dict,
+                        entries: "List[Tuple[int, int, int, Event]]") -> None:
+        """Rebuild the queue from checkpointed state plus live entries.
+
+        Args:
+            state: a :meth:`state_dict` document (curtick, next_seq,
+                events_processed).
+            entries: ``(when, priority, seq, event)`` tuples with the
+                event objects already reconstructed.  The exact
+                ``(when, priority, seq)`` triples are preserved, so the
+                dispatch order after restore is byte-identical to an
+                uncheckpointed continuation — including ties that new
+                post-restore schedules (whose seq continues from
+                ``next_seq``) can never win retroactively.
+
+        The queue's previous contents are discarded; callers are
+        expected to restore into a freshly built (empty) queue.
+        """
+        self.curtick = state["curtick"]
+        self._next_seq = state["next_seq"]
+        self.events_processed = state["events_processed"]
+        self._stop_requested = False
+        self._wheel_tick = (self.curtick >> self._shift) << self._shift
+        self._buckets = [[] for _ in range(self._mask + 1)]
+        self._occupied = 0
+        self._heap = []
+        self._active = []
+        self._active_pos = 0
+        self._live = 0
+        self._squashed = 0
+        for when, priority, seq, event in entries:
+            if event._entry is not None:
+                raise RuntimeError(
+                    f"cannot restore {event!r}: it is already scheduled")
+            entry = [when, priority, seq, event]
+            event._when = when
+            event._entry = entry
+            # No pending entry can predate the restored clock, so the
+            # window placement only needs the bucket/heap split.
+            if when - self._wheel_tick < self._span:
+                idx = (when >> self._shift) & self._mask
+                self._buckets[idx].append(entry)
+                self._occupied |= 1 << idx
+            else:
+                heapq.heappush(self._heap, entry)
+            self._live += 1
 
     # -- internals ---------------------------------------------------------
     def _compact(self) -> None:

@@ -63,6 +63,11 @@ class Simulator:
             self.checker.enable()
         self.stats = StatGroup()
         self._objects: List["SimObject"] = []
+        # Dict mirror of the registry: restore-by-name (repro.sim.
+        # checkpoint) depends on full names being unique, so lookups are
+        # O(1) and duplicate registration is an error instead of a
+        # silent first-match.
+        self._by_name: Dict[str, "SimObject"] = {}
         self._exit_callbacks: List[Callable[[], None]] = []
 
     # -- time --------------------------------------------------------------
@@ -96,7 +101,25 @@ class Simulator:
         tick = self.eventq.run(until=until, max_events=max_events)
         if self.checker.enabled and self.eventq.empty():
             self.checker.check_quiescence()
+        if self._exit_callbacks and self.eventq.empty():
+            # Fire-once semantics: a callback registered with on_exit()
+            # runs at the end of the run() that drains the queue, then
+            # is dropped (re-register to observe a later drain).
+            callbacks, self._exit_callbacks = self._exit_callbacks, []
+            for callback in callbacks:
+                callback()
         return tick
+
+    def on_exit(self, callback: Callable[[], None]) -> None:
+        """Register ``callback`` to fire once when a :meth:`run` ends
+        with the event queue fully drained (end of simulation).
+
+        Used for end-of-run flushes — writing a checkpoint after the
+        workload completes is the canonical case.  Callbacks run in
+        registration order, after the quiescence check, and are
+        consumed: each registration fires at most once.
+        """
+        self._exit_callbacks.append(callback)
 
     def stop(self) -> None:
         """Ask a run in progress to stop after the current event."""
@@ -104,15 +127,25 @@ class Simulator:
 
     # -- object registry ---------------------------------------------------
     def register(self, obj: "SimObject") -> None:
-        """Record ``obj`` in the flat object registry (done by SimObject)."""
+        """Record ``obj`` in the object registry (done by SimObject).
+
+        Raises:
+            ValueError: if another object already registered the same
+                full name — checkpoint restore resolves components by
+                path, so paths must be unique.
+        """
+        full_name = obj.full_name
+        existing = self._by_name.get(full_name)
+        if existing is not None:
+            raise ValueError(
+                f"duplicate SimObject full name {full_name!r}: "
+                f"{existing!r} is already registered")
+        self._by_name[full_name] = obj
         self._objects.append(obj)
 
     def find(self, full_name: str) -> Optional["SimObject"]:
-        """Look an object up by its dotted full name."""
-        for obj in self._objects:
-            if obj.full_name == full_name:
-                return obj
-        return None
+        """Look an object up by its dotted full name (O(1))."""
+        return self._by_name.get(full_name)
 
     @property
     def objects(self) -> List["SimObject"]:
@@ -127,6 +160,34 @@ class Simulator:
     def reset_stats(self) -> None:
         """Reset every statistic in the tree."""
         self.stats.reset()
+
+    # -- checkpointing -----------------------------------------------------
+    def checkpoint(self) -> Dict:
+        """Snapshot the whole simulation into a JSON-safe document.
+
+        Captures the event queue (pending events described as
+        owner-path + method-name, never pickled), every registered
+        object's :meth:`SimObject.state_dict`, the statistics tree, the
+        tracer's sequence counters, and the invariant checker's
+        ledgers.  See :mod:`repro.sim.checkpoint` for the format and
+        the describability rules.
+        """
+        from repro.sim.checkpoint import capture
+
+        return capture(self)
+
+    def restore(self, snapshot: Dict) -> None:
+        """Overlay a :meth:`checkpoint` document onto this simulator.
+
+        The simulator must be a freshly built twin of the captured one
+        (same topology spec, nothing yet run): restore rebuilds the
+        event queue, reloads object state by full name, and resets
+        stats/tracer/checker so a subsequent run is byte-identical to
+        continuing the captured simulation.
+        """
+        from repro.sim.checkpoint import restore
+
+        restore(self, snapshot)
 
 
 class SimObject:
@@ -179,10 +240,57 @@ class SimObject:
         return self.eventq.curtick
 
     def schedule(self, delay: int, callback: Callable[[], None], name: str = "") -> CallbackEvent:
-        """Schedule ``callback`` to run ``delay`` ticks from now."""
-        return self.sim.schedule_callback(
-            delay, callback, name or f"{self.full_name}.{getattr(callback, '__name__', 'cb')}"
-        )
+        """Schedule ``callback`` to run ``delay`` ticks from now.
+
+        The descriptive ``owner.method`` label is only materialised when
+        the tracer is enabled — full-name construction walks the parent
+        chain and allocates a string per call, which the untraced hot
+        path should not pay.  (Events scheduled while tracing is off
+        keep the callback's bare ``__name__`` as their label.)
+        """
+        if not name and self.tracer.enabled:
+            name = f"{self.full_name}.{getattr(callback, '__name__', 'cb')}"
+        return self.sim.schedule_callback(delay, callback, name)
+
+    # -- checkpoint protocol ----------------------------------------------
+    def state_dict(self) -> Dict:
+        """Checkpointable state beyond what construction reproduces.
+
+        The default is empty: most objects are fully described by the
+        topology spec that rebuilt them.  Stateful components override
+        this to return a JSON-safe dict; anything returned here must be
+        accepted back by :meth:`load_state_dict`.
+        """
+        return {}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore :meth:`state_dict` output captured from a twin object.
+
+        The default accepts only an empty dict — receiving state for an
+        object that declares none means the checkpoint and the rebuilt
+        topology disagree, which is an error rather than data loss.
+        """
+        if state:
+            raise ValueError(
+                f"{self.full_name} ({type(self).__name__}) declares no "
+                f"checkpointable state but was given keys {sorted(state)}")
+
+    def resolve_event(self, method_name: str) -> Optional[CallbackEvent]:
+        """Find this object's recycled event wrapping ``method_name``.
+
+        Checkpoint restore must reuse an existing recycled event handle
+        (``self._ack_event`` and friends) rather than minting a new
+        instance — the component later deschedules *its* handle, which
+        must be the scheduled one.  Bound methods compare equal, so a
+        scan of the instance attributes finds the match; returns None
+        when the object keeps no handle (the restorer then builds a
+        fresh :class:`CallbackEvent`).
+        """
+        method = getattr(self, method_name)
+        for value in vars(self).values():
+            if isinstance(value, CallbackEvent) and value._callback == method:
+                return value
+        return None
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.full_name!r}>"

@@ -41,6 +41,15 @@ class Stat:
         """Return the stat as a flat {suffix: value} mapping."""
         return {"": self.value()}
 
+    def state_dict(self) -> Optional[Dict]:
+        """Checkpointable state, or None for derived/stateless stats."""
+        return None
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore :meth:`state_dict` output (stateless stats refuse)."""
+        raise ValueError(f"stat {self.name!r} ({type(self).__name__}) "
+                         f"holds no checkpointable state")
+
 
 class Scalar(Stat):
     """A simple accumulating counter / settable gauge."""
@@ -70,6 +79,14 @@ class Scalar(Stat):
         self.inc(amount)
         return self
 
+    def state_dict(self) -> Dict:
+        """The current value (the initial value is reconstructed)."""
+        return {"value": self._value}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore the captured value."""
+        self._value = state["value"]
+
 
 class Average(Stat):
     """Arithmetic mean of all samples."""
@@ -97,6 +114,15 @@ class Average(Stat):
         """Discard all samples."""
         self._sum = 0.0
         self._count = 0
+
+    def state_dict(self) -> Dict:
+        """The running sum and sample count."""
+        return {"sum": self._sum, "count": self._count}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore the captured sum/count."""
+        self._sum = state["sum"]
+        self._count = state["count"]
 
 
 class Distribution(Stat):
@@ -169,6 +195,19 @@ class Distribution(Stat):
             "::min": self._min if self._min is not None else 0,
             "::max": self._max if self._max is not None else 0,
         }
+
+    def state_dict(self) -> Dict:
+        """Welford moments plus extrema (None extrema survive as null)."""
+        return {"count": self._count, "mean": self._mean, "m2": self._m2,
+                "min": self._min, "max": self._max}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore the captured moments."""
+        self._count = state["count"]
+        self._mean = state["mean"]
+        self._m2 = state["m2"]
+        self._min = state["min"]
+        self._max = state["max"]
 
 
 #: Default percentile points of a :class:`Quantiles` stat: the tail
@@ -248,6 +287,14 @@ class Quantiles(Stat):
             out[f"::{label}"] = self.percentile(fraction)
         out["::max"] = self.maximum if self.maximum is not None else 0
         return out
+
+    def state_dict(self) -> Dict:
+        """The retained samples, in observation order."""
+        return {"samples": list(self._samples)}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore the captured samples."""
+        self._samples = list(state["samples"])
 
 
 class Formula(Stat):

@@ -205,20 +205,24 @@ class TrafficEngine(SimObject):
                       "accel_copy")
 
     def __init__(self, system, flows: Sequence[FlowSpec], name: str = "traffic"):
+        # Flow-list shape is checked before the engine registers itself,
+        # so a rejected scenario leaves the simulator registry untouched
+        # (full names are unique; a corpse would block the next attempt).
+        flows = list(flows)
+        if not flows:
+            raise TrafficError("traffic engine needs at least one flow")
+        names = [spec.name for spec in flows]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise TrafficError(f"duplicate flow names: {dupes}")
         super().__init__(system.sim, name)
         self.system = system
-        self.flows: List[FlowSpec] = list(flows)
+        self.flows: List[FlowSpec] = flows
         self._states: Dict[str, _FlowState] = {}
         self._validate_and_bind()
 
     # -- validation ---------------------------------------------------------
     def _validate_and_bind(self) -> None:
-        if not self.flows:
-            raise TrafficError("traffic engine needs at least one flow")
-        names = [spec.name for spec in self.flows]
-        if len(set(names)) != len(names):
-            dupes = sorted({n for n in names if names.count(n) > 1})
-            raise TrafficError(f"duplicate flow names: {dupes}")
         owners: Dict[str, str] = {}
         for index, spec in enumerate(self.flows):
             spec.validate()

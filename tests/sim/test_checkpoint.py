@@ -1,0 +1,218 @@
+"""Unit tests for repro.sim.checkpoint: capture, restore, formats."""
+
+import pytest
+
+from repro.sim.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    capture,
+    checkpoint_digest,
+    checkpoint_json,
+    read_checkpoint,
+    restore,
+    write_checkpoint,
+)
+from repro.sim.eventq import CallbackEvent, Event
+from repro.sim.simobject import SimObject, Simulator
+
+
+class Counter(SimObject):
+    """Minimal stateful component with a recycled event handle."""
+
+    def __init__(self, sim, name, parent=None):
+        super().__init__(sim, name, parent)
+        self.count = 0
+        self.log = []
+        self._tick_event = CallbackEvent(self.tick, name="tick")
+
+    def tick(self):
+        self.count += 1
+        self.log.append(self.curtick)
+
+    def state_dict(self):
+        return {"count": self.count} if self.count else {}
+
+    def load_state_dict(self, state):
+        self.count = int(state["count"])
+
+
+def build(name="sim"):
+    sim = Simulator(name)
+    system = SimObject(sim, "system")
+    counter = Counter(sim, "counter", parent=system)
+    return sim, counter
+
+
+def test_capture_empty_sim_document_shape():
+    sim, _ = build()
+    doc = capture(sim)
+    assert doc["format"] == CHECKPOINT_FORMAT
+    assert doc["version"] == CHECKPOINT_VERSION
+    assert doc["sim_name"] == "sim"
+    assert doc["events"] == []
+    assert doc["eventq"]["curtick"] == 0
+
+
+def test_capture_is_deterministic():
+    sim, counter = build()
+    sim.schedule(counter._tick_event, 30)
+    assert checkpoint_json(capture(sim)) == checkpoint_json(capture(sim))
+    assert checkpoint_digest(capture(sim)) == checkpoint_digest(capture(sim))
+
+
+def test_pending_bound_method_events_are_described():
+    sim, counter = build()
+    sim.schedule(counter._tick_event, 30)
+    counter.schedule(10, counter.tick)
+    doc = capture(sim)
+    assert [(e["when"], e["owner"], e["method"]) for e in doc["events"]] == [
+        (10, "system.counter", "tick"),
+        (30, "system.counter", "tick"),
+    ]
+
+
+def test_unbound_callback_is_not_describable():
+    sim, _ = build()
+    sim.schedule_callback(10, lambda: None, name="anon")
+    with pytest.raises(CheckpointError, match="not a bound method"):
+        capture(sim)
+
+
+def test_non_callback_event_is_not_describable():
+    class Bare(Event):
+        def process(self):
+            pass
+
+    sim, _ = build()
+    sim.schedule(Bare(), 5)
+    with pytest.raises(CheckpointError, match="only CallbackEvents"):
+        capture(sim)
+
+
+def test_mid_run_round_trip_matches_uncheckpointed_run():
+    sim, counter = build()
+    for when in (10, 20, 30, 40):
+        counter.schedule(when, counter.tick)
+    sim.run(until=15)
+    snapshot = capture(sim)
+
+    twin, twin_counter = build()
+    restore(twin, snapshot)
+    assert twin.curtick == 15
+    assert twin_counter.count == 1
+    twin.run()
+    assert twin_counter.count == 4
+    assert twin_counter.log == [20, 30, 40]
+
+    # The uncheckpointed continuation sees the exact same dispatch.
+    sim.run()
+    assert counter.log == [10, 20, 30, 40]
+    assert twin.eventq.events_processed == sim.eventq.events_processed
+    assert twin.eventq._next_seq == sim.eventq._next_seq
+
+
+def test_restore_reuses_the_recycled_event_handle():
+    sim, counter = build()
+    sim.schedule(counter._tick_event, 25)
+    snapshot = capture(sim)
+
+    twin, twin_counter = build()
+    restore(twin, snapshot)
+    entries = twin.eventq.live_entries()
+    assert len(entries) == 1
+    assert entries[0][3] is twin_counter._tick_event
+    # The component can deschedule its own handle after a restore.
+    twin.eventq.deschedule(twin_counter._tick_event)
+    twin.run()
+    assert twin_counter.count == 0
+
+
+def test_restore_rejects_wrong_format_and_version():
+    sim, _ = build()
+    snapshot = capture(sim)
+    twin, _ = build()
+    with pytest.raises(CheckpointError, match="not a checkpoint"):
+        restore(twin, dict(snapshot, format="something-else"))
+    with pytest.raises(CheckpointError, match="version"):
+        restore(twin, dict(snapshot, version=CHECKPOINT_VERSION + 1))
+
+
+def test_restore_requires_an_empty_queue():
+    sim, counter = build()
+    snapshot = capture(sim)
+    twin, twin_counter = build()
+    twin_counter.schedule(5, twin_counter.tick)
+    with pytest.raises(CheckpointError, match="empty event queue"):
+        restore(twin, snapshot)
+
+
+def test_restore_rejects_unknown_object_and_stat():
+    sim, counter = build()
+    counter.tick()
+    snapshot = capture(sim)
+    twin, _ = build()
+    tampered = dict(snapshot)
+    tampered["objects"] = {"system.ghost": {"count": 1}}
+    with pytest.raises(CheckpointError, match="no such object"):
+        restore(twin, tampered)
+    tampered = dict(snapshot, objects={})
+    tampered["stats"] = {"system.ghost.n": {"value": 1}}
+    with pytest.raises(CheckpointError, match="no such stat"):
+        restore(twin, tampered)
+
+
+def test_restore_rejects_state_for_a_stateless_object():
+    sim, _ = build()
+    snapshot = capture(sim)
+    twin, _ = build()
+    tampered = dict(snapshot)
+    tampered["objects"] = {"system": {"mystery": 1}}
+    with pytest.raises(ValueError, match="declares no"):
+        restore(twin, tampered)
+
+
+def test_stats_round_trip():
+    sim, counter = build()
+    stat = counter.stats.scalar("n")
+    stat.inc(7)
+    snapshot = capture(sim)
+    twin, twin_counter = build()
+    twin_counter.stats.scalar("n")
+    restore(twin, snapshot)
+    assert twin.dump_stats()["system.counter.n"] == 7
+
+
+def test_simulator_methods_delegate():
+    sim, counter = build()
+    counter.schedule(10, counter.tick)
+    snapshot = sim.checkpoint()
+    twin, twin_counter = build()
+    twin.restore(snapshot)
+    twin.run()
+    assert twin_counter.log == [10]
+
+
+def test_write_read_round_trip(tmp_path):
+    sim, counter = build()
+    sim.schedule(counter._tick_event, 30)
+    snapshot = capture(sim)
+    path = str(tmp_path / "ckpt.json")
+    write_checkpoint(snapshot, path)
+    loaded = read_checkpoint(path)
+    assert loaded == snapshot
+    assert checkpoint_digest(loaded) == checkpoint_digest(snapshot)
+
+
+def test_read_rejects_non_checkpoint_file(tmp_path):
+    path = tmp_path / "nope.json"
+    path.write_text('{"format": "something"}')
+    with pytest.raises(CheckpointError, match="not a checkpoint"):
+        read_checkpoint(str(path))
+
+
+def test_resolve_event_finds_handle_or_none():
+    sim, counter = build()
+    assert counter.resolve_event("tick") is counter._tick_event
+    system = sim.find("system")
+    assert system.resolve_event("schedule") is None

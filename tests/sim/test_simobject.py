@@ -64,3 +64,66 @@ def test_reset_stats():
     counter.inc(5)
     sim.reset_stats()
     assert counter.value() == 0
+
+
+def test_duplicate_full_name_rejected():
+    sim = Simulator()
+    system = SimObject(sim, "system")
+    SimObject(sim, "dev", parent=system)
+    with pytest.raises(ValueError, match="duplicate SimObject full name"):
+        SimObject(sim, "dev", parent=system)
+
+
+def test_same_leaf_name_under_different_parents_is_fine():
+    sim = Simulator()
+    a = SimObject(sim, "a")
+    b = SimObject(sim, "b")
+    dev_a = SimObject(sim, "dev", parent=a)
+    dev_b = SimObject(sim, "dev", parent=b)
+    assert sim.find("a.dev") is dev_a
+    assert sim.find("b.dev") is dev_b
+
+
+def test_on_exit_fires_once_at_drain_in_order():
+    sim = Simulator()
+    obj = SimObject(sim, "obj")
+    fired = []
+    sim.on_exit(lambda: fired.append(("first", sim.curtick)))
+    sim.on_exit(lambda: fired.append(("second", sim.curtick)))
+    obj.schedule(50, lambda: None)
+    sim.run()
+    assert fired == [("first", 50), ("second", 50)]
+    # Consumed: a later drained run does not re-fire old registrations.
+    obj.schedule(10, lambda: None)
+    sim.run()
+    assert len(fired) == 2
+
+
+def test_on_exit_waits_for_a_drained_run():
+    sim = Simulator()
+    obj = SimObject(sim, "obj")
+    fired = []
+    sim.on_exit(lambda: fired.append(sim.curtick))
+    obj.schedule(10, lambda: None)
+    obj.schedule(100, lambda: None)
+    sim.run(until=20)
+    assert fired == [], "queue still holds the tick-100 event"
+    sim.run()
+    assert fired == [100]
+
+
+def test_schedule_label_is_lazy():
+    # check=False keeps the checker's context ring off the tracer, so
+    # the tracer is genuinely disabled even under REPRO_CHECK=on.
+    sim = Simulator(check=False)
+    system = SimObject(sim, "system")
+    dev = SimObject(sim, "dev", parent=system)
+
+    def tick():
+        pass
+
+    cold = dev.schedule(5, tick)
+    assert cold.name == "tick", "untraced schedules keep the bare __name__"
+    sim.tracer.enabled = True
+    hot = dev.schedule(6, tick)
+    assert hot.name == "system.dev.tick"
