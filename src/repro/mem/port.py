@@ -307,13 +307,15 @@ class PacketQueue:
 
         Returns False (and drops nothing) when the queue is full.
         """
-        if self.full:
+        entries = self._entries
+        if len(entries) >= self.capacity:
             self.refused.inc()
             return False
-        self.occupancy.sample(len(self._entries))
+        self.occupancy.sample(len(entries))
         ready = self.eventq.curtick + delay
-        self._entries.append((ready, pkt))
-        self._schedule_drain()
+        entries.append((ready, pkt))
+        if not self._drain_scheduled and not self._waiting_retry:
+            self._schedule_drain()
         return True
 
     def retry(self) -> None:
@@ -332,16 +334,24 @@ class PacketQueue:
 
     def _drain(self) -> None:
         self._drain_scheduled = False
-        while self._entries and not self._waiting_retry:
-            ready, pkt = self._entries[0]
-            if ready > self.eventq.curtick:
+        # Loop invariants hoisted: curtick cannot move inside the loop
+        # (time only advances in the event-queue drain), and the deque
+        # object is never replaced — send_fn/callbacks that push more
+        # work mutate it in place, which the loop condition observes.
+        entries = self._entries
+        now = self.eventq.curtick
+        send_fn = self.send_fn
+        sent = self.sent
+        while entries and not self._waiting_retry:
+            ready, pkt = entries[0]
+            if ready > now:
                 self._schedule_drain()
                 return
-            if not self.send_fn(pkt):
+            if not send_fn(pkt):
                 self._waiting_retry = True
                 return
-            self._entries.popleft()
-            self.sent.inc()
+            entries.popleft()
+            sent.inc()
             if self.on_packet_sent is not None:
                 self.on_packet_sent(pkt)
             if self.on_space_freed is not None:

@@ -25,6 +25,12 @@ class ConfigSpace:
         self.size = size
         self._data = bytearray(size)
         self._wmask = bytearray(size)
+        #: Bumped on every mutation (device- or software-side).  Callers
+        #: that decode registers on hot paths (bridge window routing)
+        #: cache the decoded form keyed by this counter, so the cache
+        #: invalidates itself on any config write without the decoder
+        #: having to know which offsets matter.
+        self.generation = 0
         # (start, end, hook) — hook(offset, size, value) runs after a
         # software write touching [start, end) has been applied.
         self._write_hooks: List[Tuple[int, int, Callable[[int, int, int], None]]] = []
@@ -43,6 +49,7 @@ class ConfigSpace:
         """Set a register's reset value and which of its bits software
         may write.  Used by device models when building their headers."""
         self._check(offset, size)
+        self.generation += 1
         for i in range(size):
             self._data[offset + i] = (value >> (8 * i)) & 0xFF
             self._wmask[offset + i] = (writable_mask >> (8 * i)) & 0xFF
@@ -50,6 +57,7 @@ class ConfigSpace:
     def set_raw(self, offset: int, size: int, value: int) -> None:
         """Device-side write ignoring write masks (status updates etc.)."""
         self._check(offset, size)
+        self.generation += 1
         for i in range(size):
             self._data[offset + i] = (value >> (8 * i)) & 0xFF
 
@@ -69,6 +77,7 @@ class ConfigSpace:
         """A software configuration write: lands only on writable bits,
         then triggers any hooks covering the written bytes."""
         self._check(offset, size)
+        self.generation += 1
         for i in range(size):
             byte = (value >> (8 * i)) & 0xFF
             mask = self._wmask[offset + i]

@@ -343,6 +343,9 @@ class PciBridgeFunction(PciFunction):
         # A fresh bridge decodes nothing: mem base > mem limit.
         self.set_memory_window(None)
         self.set_io_window(None)
+        # Decoded routing state (windows + bus range), rebuilt whenever
+        # the config space's generation moves — see _route_state().
+        self._route_cache: Optional[tuple] = None
 
     # -- bus numbers ---------------------------------------------------------
     @property
@@ -426,5 +429,35 @@ class PciBridgeFunction(PciFunction):
             out.append(self.io_window)
         return out
 
+    def _route_state(self) -> tuple:
+        """``(generation, ((start, end), ...), secondary, subordinate)``.
+
+        The switch routes every TLP through :meth:`forwards` /
+        :meth:`routes_bus`, but the registers behind them only change
+        during enumeration — so the decoded form is cached and keyed by
+        the config space's mutation counter rather than re-read from
+        raw bytes per packet.
+        """
+        gen = self.config.generation
+        cache = self._route_cache
+        if cache is not None and cache[0] == gen:
+            return cache
+        ranges = tuple(
+            (rng.start, rng.end) for rng in self.forwarding_ranges()
+        )
+        cache = (gen, ranges, self.secondary_bus, self.subordinate_bus)
+        self._route_cache = cache
+        return cache
+
     def forwards(self, addr: int) -> bool:
-        return any(addr in rng for rng in self.forwarding_ranges())
+        for start, end in self._route_state()[1]:
+            if start <= addr < end:
+                return True
+        return False
+
+    def routes_bus(self, bus: int) -> bool:
+        """:meth:`bus_in_range` with the unconfigured-bridge guard the
+        response-routing path needs (secondary still 0 routes nothing,
+        because only the root bus itself is numbered 0)."""
+        _, _, secondary, subordinate = self._route_state()
+        return secondary != 0 and secondary <= bus <= subordinate

@@ -1,0 +1,1312 @@
+"""Quiescent-link fast-forward engine (the ``turbo`` backend).
+
+A PCI-Express link in its steady state is a *provably dead* region of
+the event timeline: with zero injected error rates and immediate ACKs,
+every data-link-layer event between two component interactions — wire
+serialization (``tx_done``), DLLP deliveries, ACK purges, UpdateFC
+credit returns, replay and FC-watchdog timer motion — is a pure
+function of link state and the memoised
+:class:`~repro.pcie.timing.LinkTiming` symbol times.  The slow path
+pays two event-queue operations per pcie-pkt on the wire (a dozen per
+transferred TLP once the ACK and UpdateFC DLLPs are counted); this
+module collapses all of it into one recycled **pump** event that fires
+only at *component-visible* ticks:
+
+* a new-TLP transmission start — ``_wrap_new_tlp`` consumes a credit,
+  assigns the data-link sequence number and lets the component retry a
+  previously refused offer, and the retry response is a deferred
+  zero-delay event, so the tick must be exact;
+* a TLP delivery — ``_drain_rx`` hands the payload to the attached
+  component, which reacts at that tick.
+
+Everything else — DLLP sends and arrivals, wire occupancy, the replay
+and FC-watchdog deadlines — is *virtualized*: kept as plain integers
+and deques on the :class:`LinkFastPath` and applied **late**, in exact
+``(tick, sequence)`` order with exact tick arguments, at the next pump
+firing.  Late application is safe because nothing outside the link
+reads the data-link state (credit ledger, replay buffer, DLLP queue)
+between firings; state is never applied *ahead* of the simulated
+clock, so any external observation — a component offering a TLP
+mid-gap — always sees slow-path-equivalent state.
+
+Both directions of a :class:`~repro.pcie.link.PcieLink` are managed by
+one engine because they are coupled through DLLPs: direction A's TLP
+stream generates ACK/UpdateFC traffic that occupies direction B's wire
+and delays B's TLPs, and vice versa.  (On the paper's dd workload the
+disk's DMA writes are non-posted, so *both* wires carry TLPs at once —
+a per-direction engine would never engage.)
+
+**The identity contract.**  Every state mutation the engine performs
+is the same mutation, with the same tick argument, in the same
+relative order, that the event-by-event path in :mod:`repro.pcie.link`
+performs: the TX selection replicates ``_pick_next`` (DLLPs first,
+then retransmits, then completions-first new TLPs with per-class stall
+attribution), the RX side replicates ``_receive_tlp`` /
+``_receive_dllp`` minus the error-injection draws that a zero error
+rate never takes, and kicks are evaluated exactly where the slow
+path's ``_kick_tx`` call sites sit.  Results — statistics, payloads,
+figure metrics, final ticks — are byte-identical; only internal event
+counts and insertion sequences differ, which the ``backend-identity``
+CI job verifies empirically across the golden, figure and stress
+batteries.
+
+**Bailouts.**  Any perturbation the virtual model does not cover
+aborts the burst at a safe tick: virtual wire occupancy, in-flight
+deliveries and timer deadlines are materialised back into real events
+and the slow path resumes from an equivalent state.  Reasons (each a
+per-link statistic):
+
+======================= ================================================
+``refusal``             the attached component refused an RX drain
+``retransmit``          a retransmit queue became non-empty
+``wire_event``          a pre-engagement wire event arrived that the
+                        fast model does not cover (NAK, out-of-sequence
+                        or replayed TLP)
+``starve``              credit-starved with no replenishment pending
+``replay_deadline``     the replay timer would expire mid-burst
+``watchdog``            the FC watchdog would expire mid-burst
+``observer``            the tracer or invariant checker was enabled
+                        mid-burst (observers attached before the run
+                        keep the link on the event-by-event path)
+``desync``              defensive: the planner and the executor
+                        disagreed about a component-visible tick; never
+                        expected, and asserted zero by the test suite
+======================= ================================================
+
+A checkpoint request during a burst raises
+:class:`~repro.sim.checkpoint.CheckpointError` (never a half-burst
+snapshot), exactly as the slow path refuses while packets are in
+flight; quiesce the simulation first.
+"""
+
+import os
+from collections import deque
+from typing import List, Optional, Tuple
+
+from repro.mem.packet import FLOW_CPL
+from repro.pcie.pkt import DllpType, FLOW_CLASS_FOR_DLLP, PciePacket
+from repro.pcie.timing import DLLP_WIRE_BYTES
+from repro.sim.eventq import CallbackEvent
+
+#: Bailout reasons, in display order (each becomes a link statistic).
+BAIL_REASONS = ("refusal", "retransmit", "wire_event", "starve",
+                "replay_deadline", "watchdog", "observer", "desync")
+
+# Indices into the per-direction statistic accumulators (plain-int
+# counters the sweep bumps in place of Stat method calls; settled by
+# LinkFastPath._flush_stats at every quiescent point).
+_ACC_PKTS = 0        # tx_link.packets
+_ACC_BYTES = 1       # tx_link.bytes
+_ACC_BUSY = 2        # tx_link.busy_ticks
+_ACC_ACKS_SENT = 3
+_ACC_NAKS_SENT = 4
+_ACC_FCU_SENT = 5
+_ACC_ACKS_RECV = 6
+_ACC_FCU_RECV = 7
+_ACC_DELIVERED = 8
+_ACC_TLPS = 9        # fastpath_tlps (summed over both directions)
+_ACC_SLOTS = 10
+_ACC_ZERO = (0,) * _ACC_SLOTS
+
+# Sentinel tick meaning "no candidate / no deadline" in the dry-walk
+# scratch: larger than any reachable simulation tick, so the merge probe
+# and deadline checks need no None tests.
+_FAR = 1 << 62
+
+# Saturation guard: the engine only profits when one pump fast-forwards
+# several virtual actions; on a saturated link every DLLP forces its own
+# pump and the planning overhead exceeds the event-queue traffic it
+# replaces.  Once _GUARD_MIN_ACTIONS have been measured, a yield below
+# _GUARD_RATIO actions per pump stands the engine down for
+# _GUARD_COOLDOWN kicks, after which it re-probes.
+_GUARD_MIN_ACTIONS = 1024
+_GUARD_RATIO = 3
+_GUARD_COOLDOWN = 200_000
+
+
+class _Bail(Exception):
+    """Raised mid-sweep to abort the burst with a reason string."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class LinkFastPath:
+    """Analytic fast-forward engine for one :class:`PcieLink`.
+
+    Installed by the link's constructor when the simulator backend asks
+    for it (``sim.backend.link_fastpath``) and the link is *statically*
+    eligible: zero ``error_rate``, zero ``dllp_error_rate`` and the
+    ``immediate`` ACK policy (the ``timer`` policy coalesces ACKs on a
+    timer the virtual model does not replicate, so such links simply
+    stay on the event-by-event path).
+
+    Dynamic engagement happens at a ``_kick_tx`` with a new TLP ready;
+    it requires the tracer and invariant checker disabled and both
+    retransmit queues empty.  Real in-flight events at engagement time
+    (wire serializations, deliveries) are not descheduled — they fire
+    normally and are routed into the engine — which keeps engagement
+    O(1).
+
+    The engine is two mirrored halves that MUST stay in sync:
+
+    * the *wet* sweep (:meth:`_advance` / :meth:`_try_tx` /
+      :meth:`_apply_tlp` / :meth:`_apply_dllp`) mutates real link
+      state, late-applying virtual actions in ``(tick, vseq)`` order;
+    * the *dry* planner (:meth:`_peek`) walks the identical decision
+      procedure over scratch copies, without mutating anything, to find
+      the next component-visible tick so the pump can skip straight to
+      it.
+
+    A planner/executor disagreement about a TLP tick is a bug, not a
+    hazard: :meth:`_send_new_tlp` and :meth:`_apply_tlp` bail with
+    reason ``desync`` (asserted zero by the tests) rather than touch a
+    component at the wrong tick.
+    """
+
+    def __init__(self, link) -> None:
+        self.link = link
+        #: Directions indexed 0/1; direction *i* transmits on
+        #: ``ifaces[i].tx_link`` towards ``ifaces[1 - i]``.
+        self.ifaces = (link.upstream_if, link.downstream_if)
+        self.active = False
+        #: Static master switch (kept for operational use, e.g.
+        #: standing an engine down after repeated bailouts).
+        self.enabled = True
+        self._tracer = link.sim.tracer
+        self._checker = link.sim.checker
+        self._eventq = link.sim.eventq
+        self._pump_event = CallbackEvent(
+            self._pump_fired, name=f"{link.name}.fastpath_pump")
+        #: Reentrancy guard: real calls made by the sweep (``_drain_rx``
+        #: port pushes, component retries) can recurse into ``_kick_tx``
+        #: and thus :meth:`notify_tx`; the sweep's own follow-up kicks
+        #: already sit at the slow path's call sites, so the recursive
+        #: notification must be a no-op.
+        self._in_sweep = False
+        # Per-direction virtual wire state:
+        # _wire_free[i]  — first tick direction i can start serialising.
+        # _freed[i]      — pending tx_done-equivalent kick [tick, vseq],
+        #                  or None (at most one: sends serialize).
+        # _inflight[i]   — [tick, vseq, ppkt] deliveries this engine put
+        #                  on wire i (pre-engagement deliveries remain
+        #                  real events and re-enter via
+        #                  :meth:`on_wire_arrival`).
+        # _replay_deadline[i] / _watchdog_deadline[i] — the virtualised
+        #                  timer expiries (the real CallbackEvents are
+        #                  descheduled while engaged).
+        self._wire_free = [0, 0]
+        self._freed: List[Optional[list]] = [None, None]
+        self._inflight: Tuple[deque, deque] = (deque(), deque())
+        self._replay_deadline: List[Optional[int]] = [None, None]
+        self._watchdog_deadline: List[Optional[int]] = [None, None]
+        #: Virtual insertion sequence: allocated at send-commit time in
+        #: pairs (tx_done-equivalent before delivery), mirroring how
+        #: ``UnidirectionalLink.send`` schedules its two events.
+        self._vseq = 0
+        # All DLLPs are 8 wire bytes; memoise their serialisation time.
+        self._dllp_ttx = link.timing.transmission_ticks(DLLP_WIRE_BYTES)
+        # Per-link constants, cached off the property chain.
+        self._replay_timeout = link.replay_timeout
+        self._fc_watchdog = link.fc_watchdog
+        self._prop_delay = link.up_link.propagation_delay
+        self._replay_cap = link.replay_buffer_size
+        # Plan-validity tracking: the scheduled pump tick stays correct
+        # under every *planned* action the sweep applies; it is
+        # invalidated only by unplanned inputs — an external mutation
+        # (before_mutation sets the stale flag) or an unplanned kick
+        # that changed transmit state (the mutation counter moves).
+        self._plan_stale = True
+        self._mutations = 0
+        #: Parked: still claiming the link (kicks route here, the slow
+        #: path stays off) but the virtual timeline is empty, no
+        #: deadline is armed, and real state fully coincides with
+        #: virtual state — so no pump is scheduled and checkpoints are
+        #: safe.  Parking between back-to-back TLPs avoids paying the
+        #: engage/deschedule cycle once per quiet gap.
+        self._parked = False
+        s = link.stats
+        self.batches = s.scalar(
+            "fastpath_batches", "bursts fast-forwarded analytically")
+        self.tlps = s.scalar(
+            "fastpath_tlps", "TLPs transmitted inside fast-forward bursts")
+        self.bailouts = {
+            reason: s.scalar(f"fastpath_bailouts_{reason}",
+                             f"fast-forward bursts aborted: {reason}")
+            for reason in BAIL_REASONS
+        }
+        self.standdowns = s.scalar(
+            "fastpath_standdowns",
+            "engine stood down after measuring a saturated link")
+        #: Saturation guard (see the _GUARD_* constants).  Tests that
+        #: assert on engagement behaviour switch it off; operationally
+        #: REPRO_FASTPATH_GUARD=off does the same.
+        self.saturation_guard = (
+            os.environ.get("REPRO_FASTPATH_GUARD", "on") != "off")
+        self._ff_actions = 0
+        self._ff_pumps = 0
+        self._cooldown = 0
+        # Per-direction statistic accumulators (indexed by the _ACC_*
+        # constants): the sweep bumps plain ints and _flush_stats()
+        # settles them into the real Stat objects at every quiescent
+        # point (park, disengage, bail) — so statistics are exact
+        # whenever the engine is observable, without paying a Stat
+        # method call per virtual action mid-burst.
+        self._acc = ([0] * _ACC_SLOTS, [0] * _ACC_SLOTS)
+        # Earliest pending virtual-action tick (_FAR when the timeline
+        # is empty): lets catch-up call sites skip _advance entirely.
+        self._next_at = _FAR
+        # Persistent dry-walk scratch, reset by index stores at the top
+        # of each _peek() call instead of reallocated.  Slots 0..3 of the
+        # candidate arrays hold the four merge heads — freed wire (even)
+        # and arrival head (odd) per direction — as flat (tick, vseq,
+        # dllp_type, value) columns.
+        self._pk_cand = [0, 0, 0, 0]
+        self._pk_cv = [0, 0, 0, 0]
+        self._pk_cdt = [None, None, None, None]
+        self._pk_cdv = [0, 0, 0, 0]
+        self._pk_wf = [0, 0]
+        self._pk_li = [0, 0]
+        self._pk_xi = [0, 0]
+        self._pk_oc = [0, 0]
+        self._pk_rskip = [0, 0]
+        self._pk_extra = ([], [])
+        self._pk_hr = [None, None]
+        self._pk_lim = [None, None]
+        self._pk_st = [None, None]
+        self._pk_rdl = [0, 0]
+        self._pk_wdl = [0, 0]
+
+    @property
+    def mid_burst(self) -> bool:
+        """True while virtual state diverges from real link state (an
+        un-parked engagement): checkpoints must refuse, observers force
+        a bailout.  A parked engine is quiescent and safe."""
+        return self.active and not self._parked
+
+    # -- engagement --------------------------------------------------------
+    def try_engage(self, iface) -> bool:
+        """Claim the link at a ``_kick_tx`` with a new TLP pending.
+
+        Returns False — the caller proceeds event-by-event — when the
+        engine is disabled, an observer is armed, a retransmit queue is
+        busy, or this kick cannot transmit a new TLP right now (wire
+        busy, nothing queued, replay buffer full, or the head TLP
+        credit-blocked).  Requiring an immediate transmission guarantees
+        the burst starts with a non-empty virtual timeline, so the
+        planner either finds a pump tick or bails over *pending* work —
+        an engage-then-bail cycle over an empty timeline could otherwise
+        recurse through ``_do_bail``'s trailing kick forever.
+        """
+        if not self.enabled:
+            return False
+        if self._cooldown:
+            # Standing down after a saturation verdict; re-probe once
+            # the cooldown drains.
+            self._cooldown -= 1
+            return False
+        if self._tracer.enabled or self._checker.enabled:
+            return False
+        up, down = self.ifaces
+        if up.retransmit_queue or down.retransmit_queue:
+            return False
+        if iface.tx_link.busy or iface.dllp_queue:
+            return False
+        if not self._head_sendable(iface):
+            return False
+        eventq = self._eventq
+        now = eventq.curtick
+        for i, it in enumerate(self.ifaces):
+            link = it.tx_link
+            # A busy wire's tx_done event stays scheduled; when it
+            # fires it is a stale link_free -> _kick_tx -> notify_tx,
+            # which the engine absorbs.
+            self._wire_free[i] = (link._tx_done_event._when if link.busy
+                                  else now)
+            self._freed[i] = None
+            self._inflight[i].clear()
+            ev = it._replay_event
+            if ev.scheduled:
+                self._replay_deadline[i] = ev._when
+                eventq.deschedule(ev)
+            else:
+                self._replay_deadline[i] = None
+            ev = it._fc_watchdog_event
+            if ev.scheduled:
+                self._watchdog_deadline[i] = ev._when
+                eventq.deschedule(ev)
+            else:
+                self._watchdog_deadline[i] = None
+        self._next_at = _FAR
+        self.active = True
+        self.batches.inc()
+        try:
+            self._in_sweep = True
+            self._try_tx(0 if iface is self.ifaces[0] else 1, now)
+        except _Bail as bail:
+            self._in_sweep = False
+            self._do_bail(bail.reason)
+            return True
+        finally:
+            self._in_sweep = False
+        self._replan()
+        return True
+
+    def _head_sendable(self, iface) -> bool:
+        """Whether ``_pick_next`` would transmit a new TLP right now:
+        replay-buffer space and credit headroom for a queued head."""
+        if len(iface.replay_buffer) >= iface.replay_buffer_size:
+            return False
+        fc = iface.fc
+        if iface._in_cpl and fc.tx_headroom(FLOW_CPL) > 0:
+            return True
+        return bool(iface._in_req
+                    and fc.tx_headroom(iface._in_req[0].flow_class) > 0)
+
+    # -- external notifications -------------------------------------------
+    def before_mutation(self, iface) -> None:
+        """The component is about to offer a TLP to ``iface`` at the
+        current tick.
+
+        Virtual actions from earlier ticks must late-apply *before* the
+        mutation: a credit-grant kick at tick t must see the TLP queues
+        as they stood at t, not with an entry the component only
+        produces now.  (The planner already predicted those actions
+        against the pre-mutation state, so applying them after the
+        mutation would also desynchronise planner and executor.)
+
+        Then, instead of invalidating the plan wholesale, patch it: the
+        appended TLP can only become component-visible through a
+        ``_try_tx`` trigger for this direction — the pending
+        tx_done-equivalent kick or the next arrival on the reverse
+        wire.  Pulling the pump forward to the earliest such trigger
+        keeps the plan sound without a dry walk; the pump's own replan
+        recovers the full picture from there.
+        """
+        if self._in_sweep or self._parked:
+            # Parked: nothing pending to late-apply, and the mutation's
+            # own follow-up kick re-evaluates transmission.
+            return
+        if self._next_at <= self._eventq.curtick:
+            try:
+                self._in_sweep = True
+                self._advance(self._eventq.curtick)
+            except _Bail as bail:
+                self._in_sweep = False
+                self._do_bail(bail.reason)
+                return
+            finally:
+                self._in_sweep = False
+        if not self.active:
+            return
+        i = 0 if iface is self.ifaces[0] else 1
+        u = -1
+        f = self._freed[i]
+        if f is not None:
+            u = f[0]
+        q = self._inflight[1 - i]
+        if q:
+            t = q[0][0]
+            if u < 0 or t < u:
+                u = t
+        if u < 0:
+            # No pending trigger: the kick following this append (and
+            # its mutation-counter replan) decides.
+            return
+        pump = self._pump_event
+        if not pump.scheduled or u < pump._when:
+            self._eventq.reschedule(pump, u)
+
+    def before_rx_mutation(self) -> None:
+        """A component retry is about to drain refused RX buffers:
+        late-apply earlier virtual actions first.  The drain itself
+        cannot create an earlier component-visible tick (DLLP credit
+        returns it queues are invisible sends the wet sweep orders
+        exactly like the slow path), so the plan stands."""
+        if self._in_sweep or self._parked:
+            return
+        if self._next_at > self._eventq.curtick:
+            return
+        try:
+            self._in_sweep = True
+            self._advance(self._eventq.curtick)
+        except _Bail as bail:
+            self._in_sweep = False
+            self._do_bail(bail.reason)
+        finally:
+            self._in_sweep = False
+
+    def notify_tx(self, iface) -> None:
+        """A ``_kick_tx`` while engaged: a component offered a TLP, a
+        stale pre-engagement ``tx_done`` fired, or a port retry freed
+        input space.  Catch up, evaluate the kick at the current tick,
+        replan the pump."""
+        if self._in_sweep:
+            return
+        if self._tracer.enabled or self._checker.enabled:
+            self._catch_up_and_bail("observer")
+            return
+        now = self._eventq.curtick
+        k = 0 if iface is self.ifaces[0] else 1
+        before = 0
+        wf_before = self._wire_free[k]
+        try:
+            self._in_sweep = True
+            if not self._parked and self._next_at <= now:
+                self._advance(now)
+            before = self._mutations
+            self._try_tx(k, now)
+        except _Bail as bail:
+            self._in_sweep = False
+            self._do_bail(bail.reason)
+            return
+        finally:
+            self._in_sweep = False
+        # The catch-up advance only applies actions the planner already
+        # ordered before the scheduled pump tick, so the plan survives
+        # it; replan only if state actually moved out of plan.
+        if self._plan_stale:
+            self._replan()
+        elif self._mutations != before:
+            free_at = self._wire_free[k]
+            if free_at == wf_before:
+                # The mutation was a credit stall (watchdog armed), not
+                # a transmission — only a dry walk can order the new
+                # deadline against the pending timeline.
+                self._replan()
+            else:
+                # The kick transmitted.  Every component-visible tick
+                # the commit can enable — the follow-on send once the
+                # wire frees, or the delivery prop-delay later — lies
+                # at or after ``free_at``, and the pre-existing plan
+                # already covers the rest of the timeline.  Pull the
+                # pump forward instead of re-walking; its own replan
+                # recovers the exact picture.
+                self._parked = False
+                pump = self._pump_event
+                if not pump.scheduled or free_at < pump._when:
+                    self._eventq.reschedule(pump, free_at)
+
+    def on_wire_arrival(self, iface, ppkt) -> None:
+        """A real (pre-engagement) delivery landed at ``iface`` while
+        engaged.
+
+        The real event was scheduled before the burst began, so it
+        orders *before* any same-tick virtual action: strictly-earlier
+        actions are applied first, then the delivery, then the rest of
+        the current tick.  Anything the fast model does not cover (NAK,
+        out-of-sequence or replayed TLP) bails and is redelivered
+        through the slow path.
+        """
+        if self._tracer.enabled or self._checker.enabled:
+            self._catch_up_and_bail("observer")
+            iface.receive_from_link(ppkt)
+            return
+        now = self._eventq.curtick
+        if self._next_at < now:
+            try:
+                self._in_sweep = True
+                self._advance(now - 1)
+            except _Bail as bail:
+                self._in_sweep = False
+                self._do_bail(bail.reason)
+                iface.receive_from_link(ppkt)
+                return
+            finally:
+                self._in_sweep = False
+        weird = (ppkt.dllp_type is DllpType.NAK if ppkt.is_dllp
+                 else (ppkt.seq != iface.recv_seq or ppkt.is_replay))
+        if weird:
+            self._do_bail("wire_event")
+            iface.receive_from_link(ppkt)
+            return
+        r = 0 if iface is self.ifaces[0] else 1
+        try:
+            self._in_sweep = True
+            if ppkt.is_dllp:
+                self._apply_dllp(r, now, ppkt)
+            else:
+                self._apply_tlp(r, now, ppkt)
+            if self._next_at <= now:
+                self._advance(now)
+        except _Bail as bail:
+            self._in_sweep = False
+            self._do_bail(bail.reason)
+            return
+        finally:
+            self._in_sweep = False
+        self._replan()
+
+    def _pump_fired(self) -> None:
+        """The pump: apply every virtual action now due, then replan."""
+        if self._tracer.enabled or self._checker.enabled:
+            self._catch_up_and_bail("observer")
+            return
+        self._ff_pumps += 1
+        try:
+            self._in_sweep = True
+            self._advance(self._eventq.curtick)
+        except _Bail as bail:
+            self._in_sweep = False
+            self._do_bail(bail.reason)
+            return
+        finally:
+            self._in_sweep = False
+        self._replan()
+
+    def _catch_up_and_bail(self, reason: str) -> None:
+        """An observer was armed mid-burst: apply the already-elapsed
+        virtual actions (they belong to ticks at or before now), then
+        stand down so the slow path carries the observed traffic."""
+        try:
+            self._in_sweep = True
+            self._advance(self._eventq.curtick)
+        except _Bail as bail:
+            self._in_sweep = False
+            self._do_bail(bail.reason)
+            return
+        finally:
+            self._in_sweep = False
+        self._do_bail(reason)
+
+    # -- the wet sweep -----------------------------------------------------
+    # _advance/_try_tx/_apply_* are the executable mirror of the slow
+    # path (link.py _kick_tx/_pick_next/_receive_tlp/_receive_dllp with
+    # the tracer/checker/error branches dead).  _peek below walks the
+    # same decision procedure dry.  KEEP ALL THREE IN SYNC.
+    def _advance(self, limit: int) -> None:
+        """Apply every pending virtual action with tick <= ``limit`` in
+        ``(tick, vseq)`` order — the slow path's dispatch order.
+
+        Maintains ``_next_at``, the tick of the earliest still-pending
+        action (``_FAR`` when none): callers skip the whole catch-up —
+        probe included — when nothing is due yet.
+        """
+        freed = self._freed
+        inflight = self._inflight
+        while True:
+            bt = -1
+            bv = 0
+            best_i = 0
+            best_is_freed = False
+            for i in (0, 1):
+                f = freed[i]
+                if f is not None:
+                    t = f[0]
+                    if bt < 0 or t < bt or (t == bt and f[1] < bv):
+                        bt = t
+                        bv = f[1]
+                        best_i = i
+                        best_is_freed = True
+                q = inflight[i]
+                if q:
+                    a = q[0]
+                    t = a[0]
+                    if bt < 0 or t < bt or (t == bt and a[1] < bv):
+                        bt = t
+                        bv = a[1]
+                        best_i = i
+                        best_is_freed = False
+            if bt < 0 or bt > limit:
+                self._next_at = _FAR if bt < 0 else bt
+                return
+            if best_is_freed:
+                freed[best_i] = None
+                self._try_tx(best_i, bt)
+            else:
+                ppkt = inflight[best_i].popleft()[2]
+                r = 1 - best_i  # direction i delivers to the peer end
+                if ppkt.is_dllp:
+                    self._apply_dllp(r, bt, ppkt)
+                else:
+                    self._apply_tlp(r, bt, ppkt)
+
+    def _try_tx(self, i: int, t: int) -> None:
+        """``_kick_tx``/``_pick_next`` at tick ``t`` for direction ``i``."""
+        if self._wire_free[i] > t:
+            return  # wire busy — the slow path's tx_link.busy check
+        iface = self.ifaces[i]
+        if iface.dllp_queue:
+            ppkt = iface.dllp_queue.popleft()
+            dllp_type = ppkt.dllp_type
+            acc = self._acc[i]
+            if dllp_type is DllpType.ACK:
+                acc[_ACC_ACKS_SENT] += 1
+            elif dllp_type is DllpType.NAK:
+                acc[_ACC_NAKS_SENT] += 1
+            else:
+                acc[_ACC_FCU_SENT] += 1
+            self._commit_send(i, t, ppkt, DLLP_WIRE_BYTES, self._dllp_ttx)
+            return
+        if iface.retransmit_queue:
+            raise _Bail("retransmit")
+        if len(iface.replay_buffer) < iface.replay_buffer_size:
+            fc = iface.fc
+            queue = iface._in_cpl
+            if queue:
+                if fc.tx_headroom(FLOW_CPL) > 0:
+                    self._send_new_tlp(i, t, queue.popleft())
+                    return
+                self._fp_blocked(i, FLOW_CPL, t)
+            queue = iface._in_req
+            if queue:
+                cls = queue[0].flow_class
+                if fc.tx_headroom(cls) > 0:
+                    self._send_new_tlp(i, t, queue.popleft())
+                    return
+                self._fp_blocked(i, cls, t)
+
+    def _send_new_tlp(self, i: int, t: int, pkt) -> None:
+        """Commit a first-time TLP transmission at tick ``t``.
+
+        ``_wrap_new_tlp`` issues component retries whose deferred
+        responses fire at the current tick, so ``t`` must equal the
+        simulated clock — the planner guarantees it, and a violation
+        bails loudly instead of touching the component off-schedule.
+        """
+        iface = self.ifaces[i]
+        if t != self._eventq.curtick:
+            queue = iface._in_cpl if pkt.is_response else iface._in_req
+            queue.appendleft(pkt)
+            raise _Bail("desync")
+        ppkt = iface._wrap_new_tlp(pkt)
+        self._acc[i][_ACC_TLPS] += 1
+        wire = ppkt.wire_bytes()
+        self._commit_send(
+            i, t, ppkt, wire, self.link.timing.transmission_ticks(wire))
+        if self._replay_deadline[i] is None:
+            self._replay_deadline[i] = t + self._replay_timeout
+
+    def _commit_send(self, i: int, t: int, ppkt, wire: int, ttx: int) -> None:
+        """Occupy the wire and enqueue the virtual tx_done/delivery
+        pair (the fast mirror of ``UnidirectionalLink.send``)."""
+        acc = self._acc[i]
+        acc[_ACC_PKTS] += 1
+        acc[_ACC_BYTES] += wire
+        acc[_ACC_BUSY] += ttx
+        free_at = t + ttx
+        self._wire_free[i] = free_at
+        if free_at < self._next_at:
+            self._next_at = free_at
+        self._mutations += 1
+        vseq = self._vseq
+        self._vseq = vseq + 2
+        self._freed[i] = [free_at, vseq]
+        self._inflight[i].append(
+            [free_at + self._prop_delay, vseq + 1, ppkt])
+
+    def _fp_blocked(self, i: int, cls: int, t: int) -> None:
+        """``_fc_blocked`` at tick ``t``: start the stall clock and arm
+        the (virtual) FC watchdog."""
+        fc = self.ifaces[i].fc
+        if not fc.stalled(cls):
+            fc.stall_begin(cls, t)
+            self._mutations += 1
+        if self._watchdog_deadline[i] is None:
+            self._watchdog_deadline[i] = t + self._fc_watchdog
+            self._mutations += 1
+
+    def _apply_dllp(self, r: int, t: int, ppkt) -> None:
+        """``_receive_dllp`` at tick ``t`` for direction ``r`` (no
+        corruption draw: a zero error rate never samples the RNG)."""
+        iface = self.ifaces[r]
+        dllp_type = ppkt.dllp_type
+        if dllp_type is DllpType.ACK:
+            self._acc[r][_ACC_ACKS_RECV] += 1
+            iface._purge_acknowledged(ppkt.seq)
+            self._replay_deadline[r] = (
+                t + self._replay_timeout if iface.replay_buffer else None)
+            if self._wire_free[r] <= t:
+                self._try_tx(r, t)
+        elif dllp_type is DllpType.NAK:
+            raise _Bail("wire_event")  # never generated while engaged
+        else:
+            self._acc[r][_ACC_FCU_RECV] += 1
+            cls = FLOW_CLASS_FOR_DLLP[dllp_type]
+            fc = iface.fc
+            if fc.advertise(cls, ppkt.seq):
+                fc.stall_end(cls, t)
+                if (self._watchdog_deadline[r] is not None
+                        and not (fc.stalled(0) or fc.stalled(1)
+                                 or fc.stalled(2))):
+                    self._watchdog_deadline[r] = None
+                if self._wire_free[r] <= t:
+                    self._try_tx(r, t)
+
+    def _apply_tlp(self, r: int, t: int, ppkt) -> None:
+        """``_receive_tlp`` at tick ``t`` for direction ``r``.
+
+        Deliveries are component-visible (``_drain_rx`` makes real port
+        calls), so ``t`` must equal the simulated clock; the planner
+        guarantees it.  A drain refusal bails: the parked RX queues
+        re-enter through the slow path's port-retry machinery.
+        """
+        iface = self.ifaces[r]
+        if ppkt.seq != iface.recv_seq:
+            raise _Bail("wire_event")
+        if t != self._eventq.curtick:
+            self._inflight[1 - r].appendleft([t, -1, ppkt])
+            raise _Bail("desync")
+        pkt = ppkt.tlp
+        cls = pkt.flow_class
+        self._acc[r][_ACC_DELIVERED] += 1
+        iface.fc.rx_accept(cls)
+        (iface._rx_cpl if cls == FLOW_CPL else iface._rx_req).append(pkt)
+        iface.recv_seq += 1
+        # _schedule_ack under the immediate policy: queue + kick.
+        iface._queue_dllp(PciePacket.ack(iface.recv_seq - 1))
+        if self._wire_free[r] <= t:
+            self._try_tx(r, t)
+        # Real port pushes at the exact tick; the drain's own trailing
+        # _kick_tx routes to notify_tx, which the sweep guard absorbs.
+        iface._drain_rx()
+        if iface._rx_req or iface._rx_cpl:
+            raise _Bail("refusal")
+        # _drain_rx's trailing kick: `drained` is always True here (the
+        # queue was non-empty and the refusal case bailed above).
+        if self._wire_free[r] <= t:
+            self._try_tx(r, t)
+
+    # -- planning ----------------------------------------------------------
+    def _quick_plan(self) -> int:
+        """Conservative next-pump tick from settled state alone, or -1
+        when only the full dry walk can decide.
+
+        Component-visible ticks have exactly two sources: a TLP delivery
+        (its arrival tick is fixed the moment it entered flight) and a
+        new-TLP send, which needs a kick — and every kick source is
+        pinned too: the pending freed-wire tick, an arrival on the
+        reverse wire, or an external notify (which patches the pump
+        itself).  A send cannot happen while the wire is busy, and the
+        wire stays busy exactly until the pending freed tick, so
+        ``min(earliest in-flight TLP arrival, per-direction earliest
+        kick with a TLP queued)`` lower-bounds the next component tick.
+        Pumping early is safe — the pump just applies due actions and
+        replans — so a conservative bound is a valid plan.
+
+        Falls back to the full planner when a virtualised deadline is
+        not strictly beyond the bound (only the walk can order a bail),
+        when no bound exists (finalise/park/starve decisions), or when
+        a retransmit queue is pending (the walk bails on it).
+        """
+        ifaces = self.ifaces
+        if ifaces[0].retransmit_queue or ifaces[1].retransmit_queue:
+            return -1
+        freed = self._freed
+        inflight = self._inflight
+        best = _FAR
+        for i in (0, 1):
+            iface = ifaces[i]
+            if iface._in_req or iface._in_cpl:
+                f = freed[i]
+                if f is not None:
+                    t = f[0]
+                    if t < best:
+                        best = t
+                else:
+                    q = inflight[1 - i]
+                    if q:
+                        t = q[0][0]
+                        if t < best:
+                            best = t
+            for e in inflight[i]:
+                if e[2].dllp_type is None:
+                    if e[0] < best:
+                        best = e[0]
+                    break
+        if best >= _FAR:
+            return -1
+        rd = self._replay_deadline
+        d = rd[0]
+        if d is not None and d <= best:
+            return -1
+        d = rd[1]
+        if d is not None and d <= best:
+            return -1
+        wd = self._watchdog_deadline
+        d = wd[0]
+        if d is not None and d <= best:
+            return -1
+        d = wd[1]
+        if d is not None and d <= best:
+            return -1
+        return best
+
+    def _replan(self) -> None:
+        """Plan the next pump: a quick conservative bound when settled
+        state pins one down, else the full dry walk; schedule the pump
+        at the next component-visible tick, park, or bail."""
+        quick = self._quick_plan()
+        if quick >= 0:
+            self._parked = False
+            self._plan_stale = False
+            pump = self._pump_event
+            if pump.when != quick:
+                self._eventq.reschedule(pump, quick)
+            return
+        plan = self._peek()
+        if plan is None:
+            # Quiescent: timeline empty, no deadline armed, real and
+            # virtual state coincide.  Park — stay claimed with no
+            # pump scheduled; the next kick resumes through notify_tx
+            # without paying an engage/deschedule cycle.
+            self._parked = True
+            self._plan_stale = False
+            self._flush_stats()
+            if self._pump_event.scheduled:
+                self._eventq.deschedule(self._pump_event)
+            # A park is a settled point, so standing down here is free:
+            # if the measured yield says the link is saturated (nearly
+            # every action needed its own pump), release it to the
+            # event-by-event path and only re-probe after a cooldown.
+            if (self.saturation_guard
+                    and self._ff_actions > _GUARD_MIN_ACTIONS
+                    and self._ff_actions < self._ff_pumps * _GUARD_RATIO):
+                self.active = False
+                self._parked = False
+                self.standdowns.inc()
+                self._cooldown = _GUARD_COOLDOWN
+                self._ff_actions = 0
+                self._ff_pumps = 0
+            return
+        kind, value = plan
+        if kind == "bail":
+            self._do_bail(value)
+            return
+        # The plan is valid until external state changes (a component
+        # mutation, or an unplanned kick that transmitted/stalled):
+        # notify_tx skips the re-walk while this stays False.
+        self._parked = False
+        self._plan_stale = False
+        pump = self._pump_event
+        if pump.when != value:
+            self._eventq.reschedule(pump, value)
+
+    def _peek(self):
+        """Walk the pending timeline without touching real state.
+
+        Returns ``("pump", tick)`` for the next tick the pump must fire
+        at — the first TLP send or delivery, else the tick of the last
+        pending action so the burst can finalise and disengage;
+        ``("bail", reason)`` when a virtualised timer would expire
+        first or the burst can no longer progress; or None when nothing
+        is pending at all (clean disengage).
+
+        This is the dry mirror of ``_advance``/``_try_tx``/
+        ``_apply_dllp`` over scratch state: same ``(tick, vseq)``
+        ordering, same decision procedure, no mutation.  Dry-sent
+        DLLPs carry their (type, value) payload so their arrival
+        effects — ACK purges, UpdateFC credits — are modelled too.
+        """
+        ifaces = self.ifaces
+        fr = self._freed
+        live = self._inflight
+        out0 = ifaces[0].dllp_queue
+        out1 = ifaces[1].dllp_queue
+        if (fr[0] is None and fr[1] is None and not live[0] and not live[1]
+                and not out0 and not out1):
+            # Empty timeline: the exhaustion rules, without scratch setup.
+            wd = self._watchdog_deadline
+            if wd[0] is not None or wd[1] is not None:
+                return ("bail", "starve")
+            rd = self._replay_deadline
+            if rd[0] is not None or rd[1] is not None:
+                return ("bail", "replay_deadline")
+            return None
+        dllp_ttx = self._dllp_ttx
+        prop = self._prop_delay
+        cap = self._replay_cap
+        replay_timeout = self._replay_timeout
+        fc_watchdog = self._fc_watchdog
+        ack_t = DllpType.ACK
+        nak_t = DllpType.NAK
+        # Scratch is persistent (allocated once in __init__) and reset by
+        # index stores here: this walk runs a few times per fast-forwarded
+        # TLP, so per-call allocation and per-iteration re-derivation are
+        # what the profile bleeds on.  The four merge candidates — freed
+        # wire (even slots) and arrival head (odd slots) per direction —
+        # live in flat (tick, vseq, dllp_type, value) columns and are
+        # refreshed only when consumed; _FAR marks an exhausted candidate
+        # so the probe needs no None checks.
+        f0 = fr[0]
+        f1 = fr[1]
+        cand = self._pk_cand
+        cv = self._pk_cv
+        cdt = self._pk_cdt
+        cdv = self._pk_cdv
+        if f0 is None:
+            cand[0] = _FAR
+        else:
+            cand[0] = f0[0]
+            cv[0] = f0[1]
+        if f1 is None:
+            cand[2] = _FAR
+        else:
+            cand[2] = f1[0]
+            cv[2] = f1[1]
+        # Arrival streams are read in place rather than copied: an index
+        # cursor walks the live in-flight deque, and DLLPs the dry walk
+        # itself transmits land in a per-direction overflow list carrying
+        # their (type, value) payload.  The wire is FIFO with a constant
+        # propagation delay, so every dry-sent arrival sorts after every
+        # live one — the live cursor drains before the overflow cursor,
+        # making cursor-then-overflow a true two-level merge.  A None
+        # dllp_type marks a TLP (the walk ends there).
+        if live[0]:
+            e = live[0][0]
+            cand[1] = e[0]
+            cv[1] = e[1]
+            p = e[2]
+            cdt[1] = p.dllp_type
+            cdv[1] = p.seq
+        else:
+            cand[1] = _FAR
+        if live[1]:
+            e = live[1][0]
+            cand[3] = e[0]
+            cv[3] = e[1]
+            p = e[2]
+            cdt[3] = p.dllp_type
+            cdv[3] = p.seq
+        else:
+            cand[3] = _FAR
+        li = self._pk_li
+        li[0] = 0
+        li[1] = 0
+        extra = self._pk_extra
+        extra[0].clear()
+        extra[1].clear()
+        xi = self._pk_xi
+        xi[0] = 0
+        xi[1] = 0
+        wf = self._pk_wf
+        wf[0] = self._wire_free[0]
+        wf[1] = self._wire_free[1]
+        outq = (out0, out1)
+        oc = self._pk_oc
+        oc[0] = 0
+        oc[1] = 0
+        rbuf = (ifaces[0].replay_buffer, ifaces[1].replay_buffer)
+        rskip = self._pk_rskip  # dry-ACKed prefix of each live replay buffer
+        rskip[0] = 0
+        rskip[1] = 0
+        # Flow-control scratch is materialised per direction only when
+        # the walk actually reaches a TLP-send or UpdateFC decision.
+        headroom = self._pk_hr
+        headroom[0] = None
+        headroom[1] = None
+        limit = self._pk_lim
+        limit[0] = None
+        limit[1] = None
+        stalled = self._pk_st
+        stalled[0] = None
+        stalled[1] = None
+        rd = self._replay_deadline
+        wd = self._watchdog_deadline
+        rdl = self._pk_rdl
+        rdl[0] = _FAR if rd[0] is None else rd[0]
+        rdl[1] = _FAR if rd[1] is None else rd[1]
+        wdl = self._pk_wdl
+        wdl[0] = _FAR if wd[0] is None else wd[0]
+        wdl[1] = _FAR if wd[1] is None else wd[1]
+        # dmin caches min(rdl+wdl) so the loop pays one compare per
+        # iteration; recomputed at the (rare) deadline re-arm sites.
+        dmin = rdl[0]
+        if rdl[1] < dmin:
+            dmin = rdl[1]
+        if wdl[0] < dmin:
+            dmin = wdl[0]
+        if wdl[1] < dmin:
+            dmin = wdl[1]
+        vseq = self._vseq
+        last_tick = -1
+
+        while True:
+            bt = cand[0]
+            bv = cv[0]
+            bj = 0
+            t = cand[1]
+            if t < bt or (t == bt and cv[1] < bv):
+                bt = t
+                bv = cv[1]
+                bj = 1
+            t = cand[2]
+            if t < bt or (t == bt and cv[2] < bv):
+                bt = t
+                bv = cv[2]
+                bj = 2
+            t = cand[3]
+            if t < bt or (t == bt and cv[3] < bv):
+                bt = t
+                bv = cv[3]
+                bj = 3
+            if bt >= _FAR:
+                # Timeline exhausted without reaching a TLP tick.
+                if wdl[0] != _FAR or wdl[1] != _FAR:
+                    return ("bail", "starve")
+                if rdl[0] != _FAR or rdl[1] != _FAR:
+                    return ("bail", "replay_deadline")
+                if last_tick >= 0:
+                    # A finalising pump applies the remaining late
+                    # actions, after which the burst can disengage.
+                    now = self._eventq.curtick
+                    return ("pump", last_tick if last_tick > now else now)
+                return None
+            if dmin <= bt:
+                if rdl[0] <= bt:
+                    return ("bail", "replay_deadline")
+                if wdl[0] <= bt:
+                    return ("bail", "watchdog")
+                if rdl[1] <= bt:
+                    return ("bail", "replay_deadline")
+                return ("bail", "watchdog")
+            tick = last_tick = bt
+            if not bj & 1:
+                cand[bj] = _FAR
+                kick_i = bj >> 1
+            else:
+                i = bj >> 1
+                dllp_type = cdt[bj]
+                if dllp_type is None:
+                    return ("pump", tick)  # TLP delivery: pump must fire
+                value = cdv[bj]
+                # Consume the head (live cursor first, then overflow) and
+                # refresh this direction's arrival candidate.
+                q = live[i]
+                k = li[i]
+                if k < len(q):
+                    k += 1
+                    li[i] = k
+                else:
+                    xi[i] += 1
+                if k < len(q):
+                    e = q[k]
+                    cand[bj] = e[0]
+                    cv[bj] = e[1]
+                    p = e[2]
+                    cdt[bj] = p.dllp_type
+                    cdv[bj] = p.seq
+                else:
+                    x = extra[i]
+                    k = xi[i]
+                    if k < len(x):
+                        e = x[k]
+                        cand[bj] = e[0]
+                        cv[bj] = e[1]
+                        cdt[bj] = e[2]
+                        cdv[bj] = e[3]
+                    else:
+                        cand[bj] = _FAR
+                r = 1 - i
+                if dllp_type is ack_t:
+                    rb = rbuf[r]
+                    k = rskip[r]
+                    n = len(rb)
+                    while k < n and rb[k].seq <= value:
+                        k += 1
+                    rskip[r] = k
+                    rdl[r] = tick + replay_timeout if k < n else _FAR
+                    dmin = rdl[0]
+                    if rdl[1] < dmin:
+                        dmin = rdl[1]
+                    if wdl[0] < dmin:
+                        dmin = wdl[0]
+                    if wdl[1] < dmin:
+                        dmin = wdl[1]
+                    kick_i = r
+                elif dllp_type is nak_t:
+                    return ("pump", tick)  # wet path bails on it exactly
+                else:
+                    cls = FLOW_CLASS_FOR_DLLP[dllp_type]
+                    lim = limit[r]
+                    if lim is None:
+                        fc = ifaces[r].fc
+                        headroom[r] = [fc.tx_headroom(0), fc.tx_headroom(1),
+                                       fc.tx_headroom(2)]
+                        lim = limit[r] = list(fc.tx_limit)
+                        stalled[r] = [fc.stalled(0), fc.stalled(1),
+                                      fc.stalled(2)]
+                    if value <= lim[cls]:
+                        continue
+                    headroom[r][cls] += value - lim[cls]
+                    lim[cls] = value
+                    st = stalled[r]
+                    st[cls] = False
+                    if wdl[r] != _FAR and not (st[0] or st[1] or st[2]):
+                        wdl[r] = _FAR
+                        dmin = rdl[0]
+                        if rdl[1] < dmin:
+                            dmin = rdl[1]
+                        if wdl[0] < dmin:
+                            dmin = wdl[0]
+                        if wdl[1] < dmin:
+                            dmin = wdl[1]
+                    kick_i = r
+            # -- dry _try_tx for direction kick_i at `tick`, inlined ----
+            i = kick_i
+            if wf[i] > tick:
+                continue
+            q = outq[i]
+            if oc[i] < len(q):
+                p = q[oc[i]]
+                oc[i] += 1
+                free_at = tick + dllp_ttx
+                wf[i] = free_at
+                j = i + i
+                cand[j] = free_at
+                cv[j] = vseq
+                j += 1
+                if cand[j] >= _FAR:
+                    # Both arrival cursors were exhausted: the entry being
+                    # appended becomes this direction's arrival head.
+                    cand[j] = free_at + prop
+                    cv[j] = vseq + 1
+                    cdt[j] = p.dllp_type
+                    cdv[j] = p.seq
+                extra[i].append(
+                    (free_at + prop, vseq + 1, p.dllp_type, p.seq))
+                vseq += 2
+                continue
+            iface = ifaces[i]
+            if iface.retransmit_queue:
+                continue  # the wet sweep bails on this instead
+            if len(rbuf[i]) - rskip[i] >= cap:
+                continue
+            incpl = iface._in_cpl
+            inreq = iface._in_req
+            if not incpl and not inreq:
+                continue
+            hr = headroom[i]
+            if hr is None:
+                fc = iface.fc
+                hr = headroom[i] = [fc.tx_headroom(0), fc.tx_headroom(1),
+                                    fc.tx_headroom(2)]
+                limit[i] = list(fc.tx_limit)
+                stalled[i] = [fc.stalled(0), fc.stalled(1), fc.stalled(2)]
+            if incpl:
+                if hr[FLOW_CPL] > 0:
+                    return ("pump", tick)
+                stalled[i][FLOW_CPL] = True
+                if wdl[i] == _FAR:
+                    wdl[i] = tick + fc_watchdog
+                    if wdl[i] < dmin:
+                        dmin = wdl[i]
+            if inreq:
+                cls = inreq[0].flow_class
+                if hr[cls] > 0:
+                    return ("pump", tick)
+                stalled[i][cls] = True
+                if wdl[i] == _FAR:
+                    wdl[i] = tick + fc_watchdog
+                    if wdl[i] < dmin:
+                        dmin = wdl[i]
+
+    # -- burst exit --------------------------------------------------------
+    def _flush_stats(self) -> None:
+        """Settle the accumulated counters into the real Stat objects.
+
+        Runs at every quiescent point — park, disengage, bail — so the
+        statistics tree is exact whenever the engine can be observed;
+        only strictly mid-burst reads (which checkpoints already
+        refuse) could see counters a few virtual actions behind.
+        """
+        for i, iface in enumerate(self.ifaces):
+            acc = self._acc[i]
+            # Yield measurement for the saturation guard: sends plus
+            # arrivals is the virtual-action count of this window.
+            self._ff_actions += (acc[_ACC_PKTS] + acc[_ACC_ACKS_RECV]
+                                 + acc[_ACC_FCU_RECV] + acc[_ACC_DELIVERED])
+            n = acc[_ACC_PKTS]
+            if n:
+                link = iface.tx_link
+                link.packets.inc(n)
+                link.bytes.inc(acc[_ACC_BYTES])
+                link.busy_ticks.inc(acc[_ACC_BUSY])
+            if acc[_ACC_ACKS_SENT]:
+                iface.acks_sent.inc(acc[_ACC_ACKS_SENT])
+            if acc[_ACC_NAKS_SENT]:
+                iface.naks_sent.inc(acc[_ACC_NAKS_SENT])
+            if acc[_ACC_FCU_SENT]:
+                iface.fc_updates_sent.inc(acc[_ACC_FCU_SENT])
+            if acc[_ACC_ACKS_RECV]:
+                iface.acks_received.inc(acc[_ACC_ACKS_RECV])
+            if acc[_ACC_FCU_RECV]:
+                iface.fc_updates_received.inc(acc[_ACC_FCU_RECV])
+            if acc[_ACC_DELIVERED]:
+                iface.delivered.inc(acc[_ACC_DELIVERED])
+            if acc[_ACC_TLPS]:
+                self.tlps.inc(acc[_ACC_TLPS])
+            acc[:] = _ACC_ZERO
+
+    def _disengage(self) -> None:
+        """Clean end of a burst: the virtual timeline fully drained, no
+        deadline armed, nothing to materialise."""
+        self.active = False
+        self._parked = False
+        self._flush_stats()
+        if self._pump_event.scheduled:
+            self._eventq.deschedule(self._pump_event)
+
+    def _do_bail(self, reason: str) -> None:
+        """Materialise virtual state back into real events and stand
+        down; the event-by-event path resumes from an equivalent state.
+
+        Deliveries still pending *before* the current tick (possible
+        only when a refusal aborts a sweep midway) are handed over
+        directly, in order — their slow-path processing would also have
+        completed by now.  Same-tick and future deliveries are
+        scheduled as real events, so they fire after the event being
+        processed, matching their virtual sequence position.
+        """
+        self.bailouts[reason].inc()
+        self.active = False
+        self._parked = False
+        self._flush_stats()
+        eventq = self._eventq
+        now = eventq.curtick
+        if self._pump_event.scheduled:
+            eventq.deschedule(self._pump_event)
+        for i, iface in enumerate(self.ifaces):
+            self._freed[i] = None
+            link = iface.tx_link
+            receiver = self.ifaces[1 - i]
+            q = self._inflight[i]
+            while q and q[0][0] < now:
+                receiver.receive_from_link(q.popleft()[2])
+            pool = link._deliver_pool
+            while q:
+                tick, __, ppkt = q.popleft()
+                deliver = pool.pop() if pool else _new_deliver_event(link)
+                deliver.receiver = receiver
+                deliver.ppkt = ppkt
+                eventq.schedule(deliver, max(tick, now))
+            # Wire still serialising: restore busy + tx_done, unless a
+            # pre-engagement tx_done still owns the wire.
+            if self._wire_free[i] > now and not link._tx_done_event.scheduled:
+                link.busy = True
+                link._tx_done_event.sender = iface
+                eventq.schedule(link._tx_done_event, self._wire_free[i])
+            deadline = self._replay_deadline[i]
+            self._replay_deadline[i] = None
+            if deadline is not None and iface.replay_buffer:
+                eventq.schedule(iface._replay_event, max(deadline, now))
+            deadline = self._watchdog_deadline[i]
+            self._watchdog_deadline[i] = None
+            fc = iface.fc
+            if deadline is not None and (fc.stalled(0) or fc.stalled(1)
+                                         or fc.stalled(2)):
+                eventq.schedule(iface._fc_watchdog_event, max(deadline, now))
+        for iface in self.ifaces:
+            iface._kick_tx()
+
+
+def _new_deliver_event(link):
+    """Build a fresh wire-delivery event for ``link`` (pool empty).
+
+    Imported lazily: :mod:`repro.pcie.link` instantiates this module's
+    engine, so a module-level import back into it would be cyclic.
+    """
+    from repro.pcie.link import _DeliverEvent
+
+    return _DeliverEvent(link)

@@ -421,11 +421,7 @@ class PcieRoutingEngine(SimObject):
         for port in self.downstream_ports:
             vp2p = port.vp2p
             assert vp2p is not None
-            # An unconfigured VP2P (secondary still 0) routes nothing —
-            # only the root bus itself is numbered 0.
-            if vp2p.secondary_bus == 0:
-                continue
-            if vp2p.bus_in_range(pkt.pci_bus_num):
+            if vp2p.routes_bus(pkt.pci_bus_num):
                 return port
         # Per the paper: "If no match is found, the response packet is
         # forwarded to the upstream slave port."

@@ -46,6 +46,35 @@ REPLAY_FORMULA_TLP_OVERHEAD = 28
 
 VALID_WIDTHS = (1, 2, 4, 8, 12, 16, 32)
 
+#: Module-level transmission-tick memo, keyed by ``(gen, width)``.  Each
+#: entry maps ``wire_bytes -> ticks`` and is *shared* by every
+#: :class:`LinkTiming` with that geometry: a deep fabric builds hundreds
+#: of links but only ever sees a handful of distinct (gen, width) pairs
+#: and wire sizes, so one warm cache serves them all instead of every
+#: interface re-deriving the same Fraction arithmetic.
+_TX_TICKS_CACHE: dict = {}
+
+#: Memoised exact symbol times per generation (``PcieGen.symbol_time_exact``
+#: builds a Fraction on every property read; link construction and the
+#: fast path want a plain dict hit).
+_SYMBOL_TIME_CACHE: dict = {}
+
+
+def _shared_tx_cache(gen: "PcieGen", width: int) -> dict:
+    """The shared ``wire_bytes -> ticks`` memo for one link geometry."""
+    cache = _TX_TICKS_CACHE.get((gen, width))
+    if cache is None:
+        cache = _TX_TICKS_CACHE[(gen, width)] = {}
+    return cache
+
+
+def _shared_symbol_time(gen: "PcieGen") -> Fraction:
+    """Memoised exact symbol time for ``gen``."""
+    cached = _SYMBOL_TIME_CACHE.get(gen)
+    if cached is None:
+        cached = _SYMBOL_TIME_CACHE[gen] = gen.symbol_time_exact
+    return cached
+
 
 class PcieGen(enum.Enum):
     """A PCI-Express generation: (megatransfers/s, encoded bits/byte).
@@ -159,10 +188,12 @@ class LinkTiming:
         self.width = width
         # transmission_ticks runs once per pcie-pkt and its exact
         # Fraction arithmetic is measurably hot; a run only ever sees a
-        # handful of distinct wire sizes, so memoise per wire_bytes and
-        # compute the symbol time once.
-        self._symbol_time = gen.symbol_time_exact
-        self._tx_ticks_cache: dict = {}
+        # handful of distinct wire sizes, so memoise per wire_bytes.
+        # The memo lives at module level keyed by (gen, width): every
+        # LinkTiming of the same geometry shares one warm cache instead
+        # of rebuilding its own (deep fabrics construct hundreds).
+        self._symbol_time = _shared_symbol_time(gen)
+        self._tx_ticks_cache = _shared_tx_cache(gen, width)
 
     def transmission_ticks(self, wire_bytes: int) -> int:
         """Ticks a packet of ``wire_bytes`` occupies the link.

@@ -16,7 +16,6 @@ the property tests compare against.
 """
 
 import heapq
-import itertools
 from bisect import bisect_right
 from typing import Callable, List, Optional, Tuple
 
@@ -580,8 +579,11 @@ class ReferenceEventQueue:
     :class:`EventQueue` must match entry for entry.  The property tests
     in ``tests/sim/test_eventq_hybrid.py`` drive both implementations
     with identical randomized schedule/deschedule/reschedule workloads
-    and assert the dispatch sequences are identical.  Not used by the
-    simulator itself.
+    and assert the dispatch sequences are identical.  Selectable as the
+    ``reference`` engine through :mod:`repro.sim.backend`, so it keeps
+    the full Simulator-facing surface: tracer/checker dispatch hooks
+    and the checkpoint protocol (:meth:`live_entries` /
+    :meth:`state_dict` / :meth:`load_state_dict`).
     """
 
     def __init__(self, name: str = "eventq"):
@@ -590,7 +592,10 @@ class ReferenceEventQueue:
         self.checker = None
         self.curtick: int = 0
         self._heap: List[Tuple[int, int, int, Event]] = []
-        self._counter = itertools.count()
+        # A plain int (not itertools.count) so checkpoints can record
+        # the counter without consuming a value, exactly like the
+        # hybrid queue.
+        self._next_seq = 0
         self._stop_requested = False
         self.events_processed: int = 0
 
@@ -604,7 +609,9 @@ class ReferenceEventQueue:
         if event.scheduled:
             raise RuntimeError(f"{event!r} is already scheduled")
         event._when = when
-        entry = [when, event.priority, next(self._counter), event]
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        entry = [when, event.priority, seq, event]
         event._entry = entry
         heapq.heappush(self._heap, entry)
         return event
@@ -612,6 +619,50 @@ class ReferenceEventQueue:
     def schedule_after(self, event: Event, delay: int) -> Event:
         """Schedule ``event`` to fire ``delay`` ticks from now."""
         return self.schedule(event, self.curtick + delay)
+
+    def schedule_callback(
+        self, delay: int, callback: Callable[[], None], name: str = ""
+    ) -> CallbackEvent:
+        """Convenience: schedule a plain callable ``delay`` ticks from now."""
+        event = CallbackEvent(callback, name=name)
+        self.schedule_after(event, delay)
+        return event
+
+    # -- checkpointing -----------------------------------------------------
+    def live_entries(self) -> List[list]:
+        """Every live (non-squashed) entry; see :meth:`EventQueue.live_entries`."""
+        return [e for e in self._heap if e[3] is not None]
+
+    def state_dict(self) -> dict:
+        """Scalar scheduler state for a checkpoint (no events)."""
+        return {
+            "curtick": self.curtick,
+            "next_seq": self._next_seq,
+            "events_processed": self.events_processed,
+        }
+
+    def load_state_dict(self, state: dict,
+                        entries: "List[Tuple[int, int, int, Event]]") -> None:
+        """Rebuild the queue from checkpointed state plus live entries.
+
+        Mirrors :meth:`EventQueue.load_state_dict`: the exact ``(when,
+        priority, seq)`` triples are preserved so the restored dispatch
+        order is byte-identical to an uncheckpointed continuation.
+        """
+        self.curtick = state["curtick"]
+        self._next_seq = state["next_seq"]
+        self.events_processed = state["events_processed"]
+        self._stop_requested = False
+        self._heap = []
+        for when, priority, seq, event in entries:
+            if event._entry is not None:
+                raise RuntimeError(
+                    f"cannot restore {event!r}: it is already scheduled")
+            entry = [when, priority, seq, event]
+            event._when = when
+            event._entry = entry
+            self._heap.append(entry)
+        heapq.heapify(self._heap)
 
     def deschedule(self, event: Event) -> None:
         """Remove a scheduled event (lazily: its entry is squashed)."""
@@ -652,6 +703,13 @@ class ReferenceEventQueue:
         event._when = None
         event._entry = None
         self.events_processed += 1
+        trc = self.tracer
+        if trc is not None and trc.enabled:
+            trc.emit(when, "eventq", self.name, "dispatch",
+                     name=event.name, pri=event.priority)
+        ck = self.checker
+        if ck is not None and ck.enabled:
+            ck.on_dispatch(when, event)
         event.process()
         return True
 
@@ -661,6 +719,8 @@ class ReferenceEventQueue:
         self._stop_requested = False
         heap = self._heap
         pop = heapq.heappop
+        trc = self.tracer
+        ck = self.checker
         until_t = float("inf") if until is None else until
         remaining = -1 if max_events is None else max_events
         serviced = 0
@@ -681,6 +741,11 @@ class ReferenceEventQueue:
                 event._when = None
                 event._entry = None
                 serviced += 1
+                if trc is not None and trc.enabled:
+                    trc.emit(when, "eventq", self.name, "dispatch",
+                             name=event.name, pri=event.priority)
+                if ck is not None and ck.enabled:
+                    ck.on_dispatch(when, event)
                 event.process()
         finally:
             self.events_processed += serviced

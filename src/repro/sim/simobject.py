@@ -12,7 +12,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.check.checker import InvariantChecker
 from repro.obs.trace import Tracer
-from repro.sim.eventq import CallbackEvent, Event, EventQueue
+from repro.sim import backend as backend_registry
+from repro.sim.eventq import CallbackEvent, Event
 from repro.sim.stats import StatGroup
 
 #: Environment variable consulted when ``Simulator(check=None)``: set to
@@ -44,15 +45,24 @@ class Simulator:
         check: enable the runtime invariant checker
             (:mod:`repro.check`); None consults the ``REPRO_CHECK``
             environment variable (default off).
+        backend: name of the simulation engine to build the event
+            queue through (:mod:`repro.sim.backend`); None consults
+            the ``REPRO_BACKEND`` environment variable (default
+            ``hybrid``).  Unknown names raise ValueError.
     """
 
     def __init__(self, name: str = "sim", tracer: Optional[Tracer] = None,
-                 check: Optional[bool] = None):
+                 check: Optional[bool] = None,
+                 backend: Optional[str] = None):
         self.name = name
         # The tracer is created disabled; attaching a sink enables it.
         # Components cache the reference, so it is never replaced.
         self.tracer = tracer if tracer is not None else Tracer()
-        self.eventq = EventQueue(f"{name}.eventq")
+        #: The resolved simulation engine (:class:`repro.sim.backend
+        #: .Backend`); components consult ``backend.link_fastpath`` at
+        #: construction time to decide whether to install fast paths.
+        self.backend = backend_registry.resolve(backend)
+        self.eventq = self.backend.make_eventq(f"{name}.eventq")
         self.eventq.tracer = self.tracer
         # The checker mirrors the tracer's lifecycle: always present,
         # created disabled, cached by components — so the hot paths pay

@@ -1,0 +1,334 @@
+"""The quiescent-link fast-forward engine (:mod:`repro.pcie.fastpath`).
+
+Four contracts, each load-bearing for the ``turbo`` backend:
+
+* **identity** — every backend produces byte-identical stats and final
+  ticks; the fast path may only change wall clock and event accounting;
+* **bailout boundaries** — component refusals and armed observers force
+  the engine back onto the event-by-event path without losing traffic;
+* **checkpoint safety** — a mid-burst engine refuses to snapshot (its
+  wire state lives as virtual integers), a parked engine allows it;
+* **saturation guard** — chatty, pump-per-action traffic stands the
+  engine down instead of paying planning overhead forever.
+"""
+
+import pytest
+
+from repro.mem.packet import MemCmd, Packet
+from repro.mem.port import MasterPort, SlavePort
+from repro.obs.stats_export import export_stats
+from repro.obs.trace import MemorySink
+from repro.pcie.link import PcieLink
+from repro.pcie.timing import PcieGen
+from repro.sim.checkpoint import CheckpointError, capture
+from repro.sim.simobject import SimObject, Simulator
+
+BACKENDS = ("reference", "hybrid", "turbo")
+
+
+class _BurstDriver(SimObject):
+    """Pumps MESSAGE TLPs into the link as fast as it will accept."""
+
+    def __init__(self, sim, link, n_tlps):
+        super().__init__(sim, "driver")
+        self.remaining = n_tlps
+        self._pump_pending = False
+        self.port = MasterPort(self, "port",
+                               recv_timing_resp=lambda pkt: True,
+                               recv_req_retry=self._pump_soon)
+        self.port.bind(link.upstream_if.slave_port)
+
+    def _pump_soon(self):
+        if self._pump_pending:
+            return
+        self._pump_pending = True
+        self.schedule(0, self._pump_deferred, name="pump")
+
+    def _pump_deferred(self):
+        self._pump_pending = False
+        self.pump()
+
+    def pump(self):
+        while self.remaining > 0:
+            pkt = Packet(MemCmd.MESSAGE, 0x1000, 64, data=bytes(64),
+                         requestor=self.full_name, create_tick=self.curtick)
+            if not self.port.send_timing_req(pkt):
+                return
+            self.remaining -= 1
+
+
+class _Sink(SimObject):
+    """Always-accepting endpoint counting delivered TLPs."""
+
+    def __init__(self, sim, link):
+        super().__init__(sim, "sink")
+        self.received = 0
+        self.port = SlavePort(self, "port", recv_timing_req=self._accept,
+                              recv_resp_retry=lambda: None)
+        self.port.bind(link.downstream_if.master_port)
+
+    def _accept(self, pkt):
+        self.received += 1
+        return True
+
+
+class _ThrottledSink(SimObject):
+    """Accepts ``burst`` TLPs, refuses, then retries after ``delay``.
+
+    Exercises the component-refusal bailout boundary: a refusal during
+    a fast-forward burst cannot be modelled virtually (the component
+    said no), so the engine must fall back without dropping the packet.
+    """
+
+    def __init__(self, sim, link, burst=3, delay=5_000_000):
+        super().__init__(sim, "sink")
+        self.received = 0
+        self.burst = burst
+        self.delay = delay
+        self._credit = burst
+        self.port = SlavePort(self, "port", recv_timing_req=self._accept,
+                              recv_resp_retry=lambda: None)
+        self.port.bind(link.downstream_if.master_port)
+
+    def _accept(self, pkt):
+        if self._credit == 0:
+            return False
+        self._credit -= 1
+        self.received += 1
+        if self._credit == 0:
+            self.schedule(self.delay, self._refill, name="refill")
+        return True
+
+    def _refill(self):
+        self._credit = self.burst
+        if self.port.retry_owed:
+            self.port.send_retry_req()
+
+
+class _PingDriver(SimObject):
+    """Sends one MESSAGE, waits for the echo, sends the next.
+
+    Strictly serialized request/response traffic: every TLP needs its
+    own pump, the worst yield the saturation guard is built to detect.
+    """
+
+    def __init__(self, sim, link, n_tlps):
+        super().__init__(sim, "driver")
+        self.remaining = n_tlps
+        self.echoes = 0
+        self.tx = MasterPort(self, "tx", recv_timing_resp=lambda pkt: True,
+                             recv_req_retry=lambda: None)
+        self.tx.bind(link.upstream_if.slave_port)
+        self.rx = SlavePort(self, "rx", recv_timing_req=self._echo,
+                            recv_resp_retry=lambda: None)
+        self.rx.bind(link.upstream_if.master_port)
+
+    def _echo(self, pkt):
+        self.echoes += 1
+        if self.remaining > 0:
+            self.schedule(0, self.send_one, name="next")
+        return True
+
+    def send_one(self):
+        if self.remaining <= 0:
+            return
+        self.remaining -= 1
+        pkt = Packet(MemCmd.MESSAGE, 0x1000, 64, data=bytes(64),
+                     requestor=self.full_name, create_tick=self.curtick)
+        assert self.tx.send_timing_req(pkt)
+
+
+class _EchoSink(SimObject):
+    """Bounces every delivered TLP back upstream."""
+
+    def __init__(self, sim, link):
+        super().__init__(sim, "sink")
+        self.received = 0
+        self.rx = SlavePort(self, "rx", recv_timing_req=self._accept,
+                            recv_resp_retry=lambda: None)
+        self.rx.bind(link.downstream_if.master_port)
+        self.tx = MasterPort(self, "tx", recv_timing_resp=lambda pkt: True,
+                             recv_req_retry=lambda: None)
+        self.tx.bind(link.downstream_if.slave_port)
+
+    def _accept(self, pkt):
+        self.received += 1
+        self.schedule(0, self._bounce, name="bounce")
+        return True
+
+    def _bounce(self):
+        pkt = Packet(MemCmd.MESSAGE, 0x2000, 64, data=bytes(64),
+                     requestor=self.full_name, create_tick=self.curtick)
+        assert self.tx.send_timing_req(pkt)
+
+
+def _build(backend, guard=True, **link_kwargs):
+    # check=False pins the invariant checker off even under
+    # REPRO_CHECK=on: an armed observer (correctly) refuses fast-path
+    # engagement, which would reduce this battery to a no-op.  The
+    # checker-armed behaviour of the turbo backend is covered by the
+    # stress campaign in the backend-identity CI job.
+    sim = Simulator("fp", backend=backend, check=False)
+    link = PcieLink(sim, "link", gen=PcieGen.GEN2, width=1,
+                    ack_policy="immediate", **link_kwargs)
+    if link.fastpath is not None:
+        link.fastpath.saturation_guard = guard
+    return sim, link
+
+
+def _run_burst(backend, n_tlps=120, sink_cls=_Sink, guard=True,
+               **link_kwargs):
+    sim, link = _build(backend, guard=guard, **link_kwargs)
+    driver = _BurstDriver(sim, link, n_tlps)
+    sink = sink_cls(sim, link)
+    driver.pump()
+    sim.run(max_events=5_000_000)
+    assert sink.received == n_tlps, backend
+    return sim, link, sink
+
+
+def _comparable(sim):
+    """The stats document minus everything allowed to differ.
+
+    Fast-forward counters (``fastpath_*``) are wall-clock accounting,
+    not simulated behaviour, and ``events_processed`` legitimately
+    differs (the fast path replaces event cascades with pumps).
+    """
+    doc = export_stats(sim)
+    doc.pop("events_processed")
+    doc["stats"] = {name: record for name, record in doc["stats"].items()
+                    if "fastpath" not in name}
+    return doc
+
+
+# -- identity ---------------------------------------------------------------
+def test_backend_identity_saturated_burst():
+    docs = {}
+    for backend in BACKENDS:
+        sim, __, ___ = _run_burst(backend, n_tlps=120, guard=False)
+        docs[backend] = _comparable(sim)
+    assert docs["reference"] == docs["hybrid"] == docs["turbo"]
+
+
+def test_backend_identity_across_refusal_boundary():
+    docs = {}
+    for backend in BACKENDS:
+        sim, __, ___ = _run_burst(backend, n_tlps=40,
+                                  sink_cls=_ThrottledSink, guard=False)
+        docs[backend] = _comparable(sim)
+    assert docs["reference"] == docs["hybrid"] == docs["turbo"]
+
+
+def test_backend_identity_ping_pong_with_guard():
+    """The guard's stand-down must not perturb simulated time."""
+    docs = {}
+    for backend in BACKENDS:
+        sim, link = _build(backend, guard=True)
+        driver = _PingDriver(sim, link, 400)
+        _EchoSink(sim, link)
+        driver.send_one()
+        sim.run(max_events=5_000_000)
+        assert driver.echoes == 400, backend
+        docs[backend] = _comparable(sim)
+    assert docs["reference"] == docs["hybrid"] == docs["turbo"]
+
+
+# -- engagement and bailout boundaries --------------------------------------
+def test_fastpath_engages_and_counts():
+    __, link, ___ = _run_burst("turbo", n_tlps=120, guard=False)
+    fp = link.fastpath
+    assert fp.batches.value() >= 1
+    assert fp.tlps.value() == 120
+    assert fp.bailouts["desync"].value() == 0
+
+
+def test_component_refusal_bails_out():
+    __, link, sink = _run_burst("turbo", n_tlps=40,
+                                sink_cls=_ThrottledSink, guard=False)
+    fp = link.fastpath
+    assert sink.received == 40
+    assert fp.bailouts["refusal"].value() >= 1
+    assert fp.bailouts["desync"].value() == 0
+
+
+def test_tracer_armed_mid_run_forces_observer_bailout():
+    sim, link = _build("turbo", guard=False)
+    fp = link.fastpath
+    driver = _BurstDriver(sim, link, 120)
+    sink = _Sink(sim, link)
+    driver.pump()
+    steps = 0
+    while not fp.mid_burst and steps < 10_000:
+        assert sim.eventq.service_one()
+        steps += 1
+    sim.tracer.attach(MemorySink())
+    sim.run(max_events=5_000_000)
+    assert sink.received == 120
+    assert fp.bailouts["observer"].value() >= 1
+    assert fp.bailouts["desync"].value() == 0
+
+
+# -- checkpoint safety ------------------------------------------------------
+def test_checkpoint_refused_mid_burst_allowed_parked():
+    sim, link = _build("turbo", guard=False)
+    fp = link.fastpath
+    driver = _BurstDriver(sim, link, 50)
+    _Sink(sim, link)
+    driver.pump()
+    steps = 0
+    while not fp.mid_burst and steps < 10_000:
+        assert sim.eventq.service_one()
+        steps += 1
+    assert fp.mid_burst
+    with pytest.raises(CheckpointError, match="fast-forward"):
+        link.upstream_if.state_dict()
+    sim.run(max_events=5_000_000)
+    # Drained: the engine is parked (or disengaged) — real and virtual
+    # state coincide, so snapshots are valid again.
+    assert not fp.mid_burst
+    link.upstream_if.state_dict()
+    capture(sim)
+
+
+# -- saturation guard -------------------------------------------------------
+def test_saturation_guard_stands_down_on_chatty_traffic():
+    sim, link = _build("turbo", guard=True)
+    fp = link.fastpath
+    driver = _PingDriver(sim, link, 400)
+    _EchoSink(sim, link)
+    driver.send_one()
+    sim.run(max_events=5_000_000)
+    assert driver.echoes == 400
+    assert fp.standdowns.value() >= 1
+    assert fp.bailouts["desync"].value() == 0
+
+
+def test_saturation_guard_disabled_never_stands_down():
+    sim, link = _build("turbo", guard=False)
+    fp = link.fastpath
+    driver = _PingDriver(sim, link, 400)
+    _EchoSink(sim, link)
+    driver.send_one()
+    sim.run(max_events=5_000_000)
+    assert fp.standdowns.value() == 0
+    assert fp.tlps.value() > 0
+
+
+def test_saturation_guard_env_switch(monkeypatch):
+    def fresh_link():
+        sim = Simulator("fp", backend="turbo")
+        return PcieLink(sim, "link", gen=PcieGen.GEN2, width=1,
+                        ack_policy="immediate")
+
+    monkeypatch.setenv("REPRO_FASTPATH_GUARD", "off")
+    assert fresh_link().fastpath.saturation_guard is False
+    monkeypatch.delenv("REPRO_FASTPATH_GUARD")
+    assert fresh_link().fastpath.saturation_guard is True
+
+
+def test_quiescent_burst_stays_engaged():
+    """A healthy burst (many actions per pump) must not stand down."""
+    __, link, ___ = _run_burst("turbo", n_tlps=800, guard=True)
+    fp = link.fastpath
+    assert fp.standdowns.value() == 0
+    assert fp.tlps.value() == 800

@@ -1,0 +1,120 @@
+"""The simulation-engine registry (:mod:`repro.sim.backend`)."""
+
+import pytest
+
+from repro.pcie.link import PcieLink
+from repro.pcie.timing import PcieGen
+from repro.sim.backend import (
+    BACKEND_ENV,
+    DEFAULT_BACKEND,
+    Backend,
+    backend_names,
+    default_backend_name,
+    register,
+    resolve,
+)
+from repro.sim.backend import _REGISTRY
+from repro.sim.eventq import EventQueue, ReferenceEventQueue
+from repro.sim.simobject import Simulator
+
+
+def test_builtin_backends_registered():
+    assert {"reference", "hybrid", "turbo"} <= set(backend_names())
+    assert DEFAULT_BACKEND == "hybrid"
+
+
+def test_resolve_by_name():
+    assert resolve("reference").name == "reference"
+    assert resolve("turbo").link_fastpath is True
+    assert resolve("hybrid").link_fastpath is False
+    assert resolve("reference").link_fastpath is False
+
+
+def test_resolve_unknown_name_lists_choices():
+    with pytest.raises(ValueError, match="unknown simulation backend"):
+        resolve("bogus")
+    with pytest.raises(ValueError, match="hybrid"):
+        resolve("bogus")
+
+
+def test_resolve_none_uses_default(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    assert default_backend_name() == "hybrid"
+    assert resolve(None).name == "hybrid"
+    assert resolve().name == "hybrid"
+
+
+def test_env_var_selects_default(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "turbo")
+    assert default_backend_name() == "turbo"
+    assert resolve(None).name == "turbo"
+    # An explicit name still beats the environment.
+    assert resolve("reference").name == "reference"
+
+
+def test_env_var_whitespace_falls_back(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "  ")
+    assert default_backend_name() == "hybrid"
+
+
+def test_env_var_typo_fails_loudly(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "trubo")
+    with pytest.raises(ValueError, match="trubo"):
+        resolve(None)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register(Backend("hybrid", "imposter", lambda name: EventQueue(name)))
+
+
+def test_register_new_backend():
+    backend = Backend("test-engine", "registry test double",
+                      lambda name: ReferenceEventQueue(name))
+    try:
+        assert register(backend) is backend
+        assert resolve("test-engine") is backend
+        assert "test-engine" in backend_names()
+    finally:
+        _REGISTRY.pop("test-engine", None)
+
+
+def test_simulator_builds_queue_through_backend(monkeypatch):
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    assert isinstance(Simulator("default").eventq, EventQueue)
+    assert isinstance(Simulator("ref", backend="reference").eventq,
+                      ReferenceEventQueue)
+    turbo = Simulator("turbo", backend="turbo")
+    assert isinstance(turbo.eventq, EventQueue)
+    assert turbo.backend.link_fastpath is True
+
+
+def test_simulator_honours_env_backend(monkeypatch):
+    monkeypatch.setenv(BACKEND_ENV, "reference")
+    sim = Simulator("env")
+    assert sim.backend.name == "reference"
+    assert isinstance(sim.eventq, ReferenceEventQueue)
+
+
+def test_link_fastpath_installed_only_under_turbo():
+    for name, installed in (("reference", False), ("hybrid", False),
+                            ("turbo", True)):
+        sim = Simulator("wiring", backend=name)
+        link = PcieLink(sim, "link", gen=PcieGen.GEN2, width=1,
+                        ack_policy="immediate")
+        assert (link.fastpath is not None) is installed, name
+
+
+def test_link_fastpath_static_eligibility():
+    """Error injection and timer-coalesced ACKs stay event-by-event."""
+    sim = Simulator("eligibility", backend="turbo")
+    assert PcieLink(sim, "errs", gen=PcieGen.GEN2, width=1,
+                    ack_policy="immediate",
+                    error_rate=1e-6).fastpath is None
+    assert PcieLink(sim, "derrs", gen=PcieGen.GEN2, width=1,
+                    ack_policy="immediate",
+                    dllp_error_rate=1e-6).fastpath is None
+    assert PcieLink(sim, "timer", gen=PcieGen.GEN2, width=1,
+                    ack_policy="timer").fastpath is None
+    assert PcieLink(sim, "plain", gen=PcieGen.GEN2, width=1,
+                    ack_policy="immediate").fastpath is not None
