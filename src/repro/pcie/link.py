@@ -148,6 +148,11 @@ class UnidirectionalLink(SimObject):
         self.busy = False
         self._tx_done_event = _TxDoneEvent(self)
         self._deliver_pool: list = []
+        # Installed by the partitioned-parallel engine when this wire
+        # half crosses a partition boundary: called as
+        # ``remote_delivery(ppkt, send_tick, arrival_tick)`` instead of
+        # scheduling a local delivery event (repro.sim.partition).
+        self.remote_delivery = None
         self.packets = self.stats.scalar("packets", "pcie-pkts transmitted")
         self.bytes = self.stats.scalar("bytes", "wire bytes transmitted")
         self.busy_ticks = self.stats.scalar("busy_ticks", "ticks spent transmitting")
@@ -171,6 +176,10 @@ class UnidirectionalLink(SimObject):
         tx_done = self._tx_done_event
         tx_done.sender = sender
         eventq.schedule(tx_done, now + tx_time)
+        if self.remote_delivery is not None:
+            self.remote_delivery(ppkt, now,
+                                 now + tx_time + self.propagation_delay)
+            return
         pool = self._deliver_pool
         deliver = pool.pop() if pool else _DeliverEvent(self)
         deliver.receiver = receiver

@@ -69,17 +69,23 @@ class Backend:
         link_fastpath: True when PCIe link interfaces should install
             the analytic fast-forward engine (:mod:`repro.pcie.fastpath`)
             under this backend.
+        partitioned: True when ``Simulator.run`` should route eligible
+            runs through the partitioned-parallel engine
+            (:mod:`repro.sim.partition`).
     """
 
-    __slots__ = ("name", "description", "make_eventq", "link_fastpath")
+    __slots__ = ("name", "description", "make_eventq", "link_fastpath",
+                 "partitioned")
 
     def __init__(self, name: str, description: str,
                  make_eventq: Callable[[str], object],
-                 link_fastpath: bool = False):
+                 link_fastpath: bool = False,
+                 partitioned: bool = False):
         self.name = name
         self.description = description
         self.make_eventq = make_eventq
         self.link_fastpath = link_fastpath
+        self.partitioned = partitioned
 
     def __repr__(self) -> str:
         return f"<Backend {self.name!r} fastpath={self.link_fastpath}>"
@@ -135,4 +141,23 @@ register(Backend(
     "hybrid queue + analytic link-layer fast-forward for quiescent links",
     lambda name: EventQueue(name),
     link_fastpath=True,
+))
+
+
+def _partition_eventq(name: str):
+    """Build the ``parallel`` backend's partition-aware event queue.
+
+    Imported lazily so merely registering the backend never pays for
+    (or cycles through) the partition engine module.
+    """
+    from repro.sim.partition import PartitionEventQueue
+    return PartitionEventQueue(name)
+
+
+register(Backend(
+    "parallel",
+    "process-per-subtree partitioned engine; conservative link-latency "
+    "sync, byte-identical to hybrid",
+    _partition_eventq,
+    partitioned=True,
 ))

@@ -1,0 +1,1226 @@
+"""Partitioned-parallel simulation: one worker process per fabric subtree.
+
+The ``parallel`` backend cuts a :class:`~repro.system.spec.TopologySpec`
+into per-subtree partitions at PCIe link boundaries and runs each
+partition in its own **forked worker process** with its own slice of the
+event queue, coupling them only through the cut links' wire channels.
+Synchronization is conservative (CMB-style): each boundary link's total
+traversal latency — serialization of the smallest packet plus
+propagation — is a *lookahead* window ``L``; no partition can influence
+a neighbour sooner than ``L`` ticks into the future, so every partition
+may safely drain all events strictly below ``min(next event anywhere,
+earliest in-flight arrival) + min(L)`` before re-synchronizing.
+
+Identity contract
+-----------------
+A partitioned run must be **byte-identical** to a single-process
+``hybrid`` run: same final stats, same traces, same checkpoint capture.
+Three mechanisms deliver this:
+
+* **Boundary deliveries keep their global position.**  The sender-side
+  wire hook consumes the sender's local sequence number at send time
+  (exactly where the hybrid engine allocates the deliver event's
+  sequence) and ships it with the packet.  The receiver re-inserts the
+  delivery with a *fractional* sequence number placed between the local
+  sequence numbers allocated before and after the send tick, so the
+  ``(tick, priority, seq)`` dispatch order within the receiving
+  partition matches the hybrid interleaving.
+* **Trace events are re-merged in dispatch order.**  While partitioned,
+  every process records trace events keyed by a *global* dispatch key;
+  the master merges all records with a stable sort and replays dense
+  TLP-id allocation over the merged stream, reproducing the hybrid
+  trace byte for byte.
+* **State is owned, shipped, and merged.**  Every sim object, stat and
+  checker ledger belongs to exactly one partition (devices and switches
+  to their subtree; each boundary link's halves split at the wire).
+  At quiescence the workers ship their owned state and the master loads
+  it over its stale copies, so post-run capture/analysis see exactly
+  the hybrid end state.
+
+The only synchronous cross-partition call in the model — a stalled
+interface's flow-control watchdog poking ``peer._readvertise_credits()``
+— is handled by a *hazard* sub-protocol: watchdog deadlines are reported
+each round, the window is capped so no watchdog fires mid-drain, and
+when one becomes due the master coordinates the fire on the owner and
+the credit re-advertisement on the peer at the same tick.
+
+Engagement is deliberately conservative: the engine only takes over for
+quiescent-drain runs (``until is None``) of MSI-enabled PCIe fabrics
+(legacy INTx is a zero-latency device→kernel call that bypasses the
+fabric and therefore cannot be cut); everything else falls back to the
+ordinary single-process drain, which is byte-identical by construction.
+"""
+
+import heapq
+import itertools
+import multiprocessing
+import os
+import traceback
+from bisect import bisect_right
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.eventq import CallbackEvent, Event, EventQueue
+
+#: Environment variable carrying the partition-count hint (the harness
+#: ``--partitions`` flag exports it; ``build_system(partitions=N)``
+#: takes precedence).
+PARTITIONS_ENV = "REPRO_PARTITIONS"
+
+#: Spacing of the fractional sequence numbers given to boundary
+#: deliveries.  Fractions are dyadic and strictly between 0 and 1, so a
+#: delivery sorts after local sequence ``base - 1`` and before ``base``
+#: and never *ties* an integer — entry-list comparisons therefore never
+#: reach the (unorderable) event object in slot 3.
+_FRAC = 2.0 ** -21
+_FRAC_LIMIT = (1 << 21) - 1
+
+#: Per-rank offset for the process-global packet-id counter, so request
+#: ids allocated in different workers never collide.  Packet ids never
+#: surface in compared artifacts (traces carry dense remapped ids).
+_PACKET_ID_STRIDE = 1 << 48
+
+
+class PartitionError(RuntimeError):
+    """A partitioned run failed (worker crash, budget, protocol error)."""
+
+
+class _Abort(Exception):
+    """Internal: the master told this worker to die quietly."""
+
+
+# --------------------------------------------------------------------------
+# Event queue
+# --------------------------------------------------------------------------
+
+
+class PartitionEventQueue(EventQueue):
+    """An :class:`EventQueue` that can host one partition of a run.
+
+    Outside a partitioned run it behaves exactly like the hybrid queue.
+    When activated it additionally
+
+    * logs *sequence watermarks* — ``(first sequence, tick)`` pairs
+      recording at which tick each run of sequence numbers was
+      allocated — so a local sequence number can be mapped back to its
+      insertion tick, and a remote send tick can be mapped to the local
+      sequence position it would have occupied;
+    * accepts *boundary deliveries* with fractional sequence numbers
+      via :meth:`insert_boundary`;
+    * exposes :meth:`gmeta_for_key`, the global dispatch key used to
+      merge per-partition trace streams deterministically.
+    """
+
+    def __init__(self, name: str = "eventq", bucket_bits: int = 20,
+                 num_buckets: int = 64):
+        super().__init__(name, bucket_bits, num_buckets)
+        #: Rank of the partition this queue is driving, None when the
+        #: queue is running plain single-process.
+        self.partition_rank: Optional[int] = None
+        #: ``(when, priority, seq)`` of the entry being dispatched by
+        #: the partition engine's drain loop (set before service_one).
+        self.current_key: Optional[tuple] = None
+        self._n0 = 0
+        self._wm_seqs: List[int] = []
+        self._wm_ticks: List[int] = []
+        self._frac_counters: Dict[int, int] = {}
+        self._delivery_meta: Dict[float, tuple] = {}
+
+    # -- partition lifecycle ----------------------------------------------
+    def activate_partitioning(self, rank: int, n0: int) -> None:
+        """Enter partitioned mode as partition ``rank``.
+
+        ``n0`` is the pre-fork sequence snapshot: sequences below it
+        were allocated by the single-process prefix and order globally
+        by value; sequences at or above it are partition-local.
+        """
+        self.partition_rank = rank
+        self._n0 = n0
+        self._wm_seqs = [self._next_seq]
+        self._wm_ticks = [self.curtick]
+        self._frac_counters = {}
+        self._delivery_meta = {}
+
+    def deactivate_partitioning(self) -> None:
+        """Leave partitioned mode (the queue reverts to plain hybrid)."""
+        self.partition_rank = None
+        self.current_key = None
+        self._wm_seqs = []
+        self._wm_ticks = []
+        self._frac_counters = {}
+        self._delivery_meta = {}
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, event: Event, when: int) -> Event:
+        """Schedule an event; in partitioned mode, log seq watermarks."""
+        if self.partition_rank is None:
+            return super().schedule(event, when)
+        if self._wm_ticks[-1] != self.curtick:
+            self._wm_seqs.append(self._next_seq)
+            self._wm_ticks.append(self.curtick)
+        if when < self.curtick:
+            raise ValueError(
+                f"cannot schedule {event!r} at {when} in the past "
+                f"(curtick={self.curtick})"
+            )
+        if event._entry is not None:
+            raise RuntimeError(f"{event!r} is already scheduled")
+        event._when = when
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        entry = [when, event.priority, seq, event]
+        event._entry = entry
+        self._live += 1
+        self._place_entry(entry, when)
+        return event
+
+    def _place_entry(self, entry: list, when: int) -> None:
+        """Tiered placement with a *live-tail* bisect for the active batch.
+
+        The base queue's active-tier insert bisects the whole batch and
+        clamps the result to ``_active_pos``.  That is unsafe here: the
+        consumed prefix can hold squashed entries with arbitrarily large
+        keys (a descheduled replay timer parks a far-future key there),
+        and a bisect probing such a key walks left of the clamp, so
+        successive inserts stack at ``_active_pos`` in *reverse* order.
+        Hybrid interleaves every insert with a dispatch that consumes
+        it, masking the hazard; a partition batches many boundary
+        inserts (and drain-local schedules) between dispatches and
+        would dispatch them out of tick order.  Bounding the bisect to
+        the live tail — which is sorted — gives the exact position.
+        """
+        offset = when - self._wheel_tick
+        if offset < 0:
+            active = self._active
+            lo = self._active_pos
+            hi = len(active)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if entry < active[mid]:
+                    hi = mid
+                else:
+                    lo = mid + 1
+            active.insert(lo, entry)
+        elif offset < self._span:
+            idx = (when >> self._shift) & self._mask
+            self._buckets[idx].append(entry)
+            self._occupied |= 1 << idx
+        else:
+            heapq.heappush(self._heap, entry)
+
+    def insertion_tick(self, seq: int) -> int:
+        """The tick at which local sequence ``seq`` was allocated."""
+        i = bisect_right(self._wm_seqs, seq) - 1
+        return self._wm_ticks[i] if i >= 0 else 0
+
+    def _seq_floor(self, send_tick: int) -> int:
+        """First local sequence allocated strictly after ``send_tick``.
+
+        A boundary delivery sent at ``send_tick`` must sort after every
+        local sequence allocated at or before that tick and before any
+        allocated later — exactly where the hybrid engine would have
+        placed the deliver event's sequence number.
+        """
+        j = bisect_right(self._wm_ticks, send_tick)
+        if j < len(self._wm_seqs):
+            return self._wm_seqs[j]
+        return self._next_seq
+
+    def insert_boundary(self, when: int, event: Event, send_tick: int,
+                        sender_rank: int, sender_seq: int) -> None:
+        """Insert a cross-partition delivery at its global position.
+
+        The entry gets a fractional sequence number just below the
+        local sequence floor for ``send_tick``; deliveries sharing a
+        floor are sub-ordered by insertion order, which the master
+        makes deterministic by routing batches sorted by
+        ``(send_tick, sender_rank, sender_seq)``.
+        """
+        if event._entry is not None:
+            raise RuntimeError(f"{event!r} is already scheduled")
+        base = self._seq_floor(send_tick)
+        k = self._frac_counters.get(base, 0) + 1
+        if k > _FRAC_LIMIT:
+            raise PartitionError(
+                f"more than {_FRAC_LIMIT} boundary deliveries share "
+                f"sequence floor {base}")
+        self._frac_counters[base] = k
+        seq = (base - 1) + k * _FRAC
+        self._delivery_meta[seq] = (send_tick, sender_rank, sender_seq)
+        event._when = when
+        entry = [when, event.priority, seq, event]
+        event._entry = entry
+        self._live += 1
+        self._place_entry(entry, when)
+
+    # -- global dispatch keys ----------------------------------------------
+    def gmeta_for_key(self, key: tuple) -> tuple:
+        """Global, cross-partition-comparable form of a dispatch key.
+
+        Two stages, all shapes mutually comparable and collision-free:
+
+        * pre-fork events:  ``(when, pri, 0, seq, 0, 0)`` — the global
+          sequence number still orders them exactly;
+        * post-fork events: ``(when, pri, 1, insertion_tick, rank,
+          seq)`` — in a single-process run the clock is globally
+          monotone, so the hybrid global sequence order of two events
+          equals the order of their allocation ticks.  Boundary
+          deliveries use their *send* tick as the insertion tick (the
+          tick the hybrid engine allocated the deliver event at) and
+          keep their fractional local sequence, so within one
+          partition the gmeta order is exactly the dispatch order.
+
+        Equal ``(when, pri, insertion_tick)`` across *different*
+        partitions are ordered by rank — a convention the byte-identity
+        test battery pins down.
+        """
+        when, pri, seq = key
+        if isinstance(seq, float):
+            send_tick = self._delivery_meta[seq][0]
+            return (when, pri, 1, send_tick, self.partition_rank, seq)
+        if seq < self._n0:
+            return (when, pri, 0, seq, 0, 0)
+        return (when, pri, 1, self.insertion_tick(seq),
+                self.partition_rank, seq)
+
+    def dispatch_gmeta(self) -> tuple:
+        """Global key of the event currently being dispatched."""
+        return self.gmeta_for_key(self.current_key)
+
+
+class _BoundaryDeliverEvent(Event):
+    """Wire delivery re-materialized on the receiving partition.
+
+    Mirrors ``pcie.link._DeliverEvent`` (same name, same priority, same
+    receiver call) but carries an unpickled packet copy and is built
+    fresh per message instead of pooled.
+    """
+
+    __slots__ = ("receiver", "ppkt")
+
+    def __init__(self, receiver, ppkt):
+        super().__init__(name="deliver")
+        self.receiver = receiver
+        self.ppkt = ppkt
+
+    def process(self) -> None:
+        """Hand the packet to the receiving link interface."""
+        receiver = self.receiver
+        ppkt = self.ppkt
+        self.receiver = None
+        self.ppkt = None
+        receiver.receive_from_link(ppkt)
+
+
+# --------------------------------------------------------------------------
+# Partition plan
+# --------------------------------------------------------------------------
+
+
+class _Cut:
+    """One cut link: the boundary between a parent and a child rank."""
+
+    __slots__ = ("cut_id", "link_name", "parent_rank", "child_rank")
+
+    def __init__(self, cut_id, link_name, parent_rank, child_rank):
+        self.cut_id = cut_id
+        self.link_name = link_name
+        self.parent_rank = parent_rank
+        self.child_rank = child_rank
+
+
+class PartitionPlan:
+    """Where a topology is cut and which rank owns which subtree.
+
+    Attributes:
+        num_partitions: total ranks (master is rank 0).
+        cuts: one :class:`_Cut` per boundary link, ordered by cut id.
+        node_ranks: spec instance name -> owning rank, for every device
+            and switch in the topology.
+        link_ranks: spec link name -> rank of the link's child node
+            (for non-cut links, the rank owning the whole link).
+    """
+
+    def __init__(self, num_partitions, cuts, node_ranks, link_ranks):
+        self.num_partitions = num_partitions
+        self.cuts = cuts
+        self.node_ranks = node_ranks
+        self.link_ranks = link_ranks
+
+
+def plan_partitions(spec, hint: Optional[int] = None) -> PartitionPlan:
+    """Cut a finalized ``TopologySpec`` into subtree partitions.
+
+    With no hint, every root-complex downstream port becomes a cut (one
+    partition per root subtree plus the core).  With ``hint=N``, the
+    ``N - 1`` largest subtrees (ties broken by tree pre-order) are
+    split off instead, which handles both wide and deeply nested
+    fabrics.  Ranks 1..N-1 are assigned to cuts in pre-order, and every
+    node belongs to the nearest cut ancestor (or rank 0).
+    """
+    edges = []  # (preorder index, node, parent_is_root, subtree size)
+    counter = itertools.count()
+
+    def walk(node, parent_is_root):
+        """Record this edge and return the node's subtree size."""
+        idx = next(counter)
+        pos = len(edges)
+        edges.append(None)
+        size = 1
+        for child in getattr(node, "children", None) or ():
+            size += walk(child, False)
+        edges[pos] = (idx, node, parent_is_root, size)
+        return size
+
+    for child in spec.children:
+        walk(child, True)
+
+    if hint is None:
+        cut_edges = [e for e in edges if e[2]]
+    elif hint <= 1:
+        cut_edges = []
+    else:
+        by_size = sorted(edges, key=lambda e: (-e[3], e[0]))
+        cut_edges = by_size[:hint - 1]
+    cut_edges.sort(key=lambda e: e[0])
+
+    rank_of_node = {id(e[1]): rank
+                    for rank, e in enumerate(cut_edges, start=1)}
+    cuts = [_Cut(i, e[1].link.name, 0, rank)
+            for i, (rank, e) in enumerate(
+                zip(range(1, len(cut_edges) + 1), cut_edges))]
+
+    node_ranks: Dict[str, int] = {}
+    link_ranks: Dict[str, int] = {}
+
+    def assign(node, rank):
+        """Propagate ownership down the tree, switching at cut nodes."""
+        here = rank_of_node.get(id(node), rank)
+        node_ranks[node.name] = here
+        link_ranks[node.link.name] = here
+        for child in getattr(node, "children", None) or ():
+            assign(child, here)
+        return here
+
+    for child in spec.children:
+        assign(child, 0)
+
+    # Fix up parent ranks for nested cuts: the parent side of a cut is
+    # whatever rank owns the cut node's parent.
+    parent_of: Dict[int, int] = {}
+
+    def parents(node, parent_rank):
+        """Record each cut node's parent-side rank."""
+        here = rank_of_node.get(id(node), parent_rank)
+        if id(node) in rank_of_node:
+            parent_of[rank_of_node[id(node)]] = parent_rank
+        for child in getattr(node, "children", None) or ():
+            parents(child, here)
+
+    for child in spec.children:
+        parents(child, 0)
+    for cut in cuts:
+        cut.parent_rank = parent_of[cut.child_rank]
+
+    return PartitionPlan(len(cut_edges) + 1, cuts, node_ranks, link_ranks)
+
+
+# --------------------------------------------------------------------------
+# Trace recording
+# --------------------------------------------------------------------------
+
+
+class _RecordingSink:
+    """Per-process trace sink capturing ``(global key, event)`` pairs.
+
+    Installed as the *only* tracer sink while partitioned, with the
+    category filter lifted and dense TLP-id allocation bypassed (events
+    keep raw packet ids).  The master later merges all processes'
+    records in global key order, replays the dense-id allocation, and
+    feeds the user's sinks — reproducing the hybrid trace exactly.
+
+    ``keep_all`` is False when the only real consumer is the checker's
+    diagnostic ring buffer: then only events needed for id replay
+    (TLP-carrying) or passing the user's filter are kept, bounding
+    memory on checker-armed runs.
+    """
+
+    def __init__(self, queue, user_categories, keep_all):
+        self.queue = queue
+        self.user_categories = user_categories
+        self.keep_all = keep_all
+        #: When set, events are keyed by this instead of the queue's
+        #: current dispatch key (hazard re-advertisement runs model
+        #: code engine-side, outside any local dispatch).
+        self.force_key: Optional[tuple] = None
+        self.records: List[tuple] = []
+
+    def record(self, event: dict) -> None:
+        """Capture one trace event with its global dispatch key."""
+        if not (self.keep_all or "tlp" in event
+                or (self.user_categories is not None
+                    and event["cat"] in self.user_categories)):
+            return
+        key = self.force_key
+        if key is None:
+            key = self.queue.dispatch_gmeta()
+        self.records.append((key, event))
+
+
+class _ReadvertiseProxy:
+    """Stand-in for a boundary interface's remote peer.
+
+    The flow-control watchdog is the model's only synchronous call
+    across a link (``self.peer._readvertise_credits()``); the proxy
+    records the request so the engine can route it to the partition
+    that actually owns the peer.
+    """
+
+    __slots__ = ("engine", "cut_id", "side")
+
+    def __init__(self, engine, cut_id, side):
+        self.engine = engine
+        self.cut_id = cut_id
+        self.side = side
+
+    def _readvertise_credits(self) -> None:
+        """Record that the peer interface must re-advertise credits."""
+        self.engine._pending_readv.add((self.cut_id, self.side))
+
+
+# --------------------------------------------------------------------------
+# Engine
+# --------------------------------------------------------------------------
+
+
+class _BoundaryLink:
+    """Engine-side view of one cut: the built link plus its ranks."""
+
+    __slots__ = ("cut_id", "link", "up_if", "down_if", "up_link",
+                 "down_link", "parent_rank", "child_rank", "lookahead")
+
+    def __init__(self, cut_id, link, parent_rank, child_rank, lookahead):
+        self.cut_id = cut_id
+        self.link = link
+        self.up_if = link.upstream_if
+        self.down_if = link.downstream_if
+        self.up_link = link.up_link
+        self.down_link = link.down_link
+        self.parent_rank = parent_rank
+        self.child_rank = child_rank
+        self.lookahead = lookahead
+
+    def rank_of_side(self, side: str) -> int:
+        """Owning rank of ``"up_if"`` (parent) or ``"down_if"`` (child)."""
+        return self.parent_rank if side == "up_if" else self.child_rank
+
+    def iface(self, side: str):
+        """The interface object named by ``side``."""
+        return self.up_if if side == "up_if" else self.down_if
+
+
+def _partition_hint(sim) -> Optional[int]:
+    """Resolve the partition-count hint: builder kwarg, then env var."""
+    hint = getattr(sim, "partition_hint", None)
+    if hint is not None:
+        return int(hint)
+    raw = os.environ.get(PARTITIONS_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{PARTITIONS_ENV} must be an integer, got {raw!r}") from None
+
+
+def run_partitioned(sim, until: Optional[int] = None,
+                    max_events: Optional[int] = None) -> int:
+    """Entry point for ``Simulator.run`` under a partitioned backend.
+
+    Builds an engine when the run is eligible; otherwise falls back to
+    the plain single-process drain (byte-identical by construction).
+    """
+    engine = _build_engine(sim, until)
+    if engine is None:
+        return sim.eventq.run(until=until, max_events=max_events)
+    return engine.run(max_events)
+
+
+def _build_engine(sim, until) -> Optional["PartitionEngine"]:
+    """Vet a run for partitioned execution; None means fall back.
+
+    The guards are deliberately strict — anything the partitioned
+    engine cannot reproduce byte-for-byte runs single-process instead:
+    bounded-horizon runs (``until``), non-PCIe or non-MSI fabrics
+    (legacy INTx interrupts are synchronous device→kernel calls that
+    bypass the fabric), empty queues, missing ``fork`` support, and
+    daemonic contexts (sweep pool workers cannot themselves fork).
+    """
+    if until is not None:
+        return None
+    queue = sim.eventq
+    if not isinstance(queue, PartitionEventQueue):
+        return None
+    if queue.empty():
+        return None
+    if multiprocessing.current_process().daemon:
+        return None
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    system = getattr(sim, "pcie_system", None)
+    if system is None:
+        return None
+    from repro.system.spec import TopologySpec
+    spec = getattr(system, "spec", None)
+    if not isinstance(spec, TopologySpec):
+        return None
+    if not spec.enable_msi:
+        return None
+    plan = plan_partitions(spec, _partition_hint(sim))
+    if plan.num_partitions < 2:
+        return None
+    engine = PartitionEngine(sim, system, plan)
+    if not engine.eligible():
+        return None
+    return engine
+
+
+class PartitionEngine:
+    """Coordinates one partitioned run: fork, sync rounds, merge.
+
+    The master process *is* partition 0: it forks one worker per extra
+    rank (inheriting the fully built simulation), then alternates
+    lockstep rounds with them over duplex pipes:
+
+    1. every rank REPORTs its next event tick, outgoing boundary
+       messages, and pending watchdog deadlines;
+    2. the master routes messages, computes the window bound
+       ``E = min(next ticks, in-flight arrivals) + min lookahead``
+       (capped below the earliest watchdog deadline), and GRANTs it;
+    3. every rank inserts its deliveries and drains strictly below
+       ``E``.
+
+    When a watchdog deadline *is* the global minimum, a HAZARD round
+    fires it on the owner and applies the credit re-advertisement on
+    the peer at the same tick instead.  When every queue is empty and
+    nothing is in flight, FINISH makes the workers ship their owned
+    state, stats, checker ledgers and trace records for the merge.
+    """
+
+    def __init__(self, sim, system, plan):
+        self.sim = sim
+        self.system = system
+        self.plan = plan
+        self.queue: PartitionEventQueue = sim.eventq
+        self.nparts = plan.num_partitions
+        self._cuts: List[_BoundaryLink] = []
+        self._lookahead = None
+        self._name_ranks: Dict[str, int] = {}
+        self._rank_cache: Dict[str, int] = {}
+        self._rank = 0
+        self._outbox: List[tuple] = []
+        self._pending_readv: set = set()
+        self._round_dispatched = 0
+        self._dispatched_total = 0
+        self._over_budget = False
+        self._max_events: Optional[int] = None
+        self._recorder: Optional[_RecordingSink] = None
+        self._saved_sinks = None
+        self._saved_categories = None
+        self._saved_peers: List[tuple] = []
+        self._saved_hooks: List[Any] = []
+        self._n0 = 0
+        self._e0 = 0
+        self._resolve_boundary()
+
+    # -- plan resolution ---------------------------------------------------
+    def _resolve_boundary(self) -> None:
+        """Map the plan's cuts onto built link objects and name ranks."""
+        from repro.pcie.pkt import DLLP_WIRE_BYTES
+        links = getattr(self.system, "links", None) or {}
+        for cut in self.plan.cuts:
+            link = links.get(cut.link_name)
+            if link is None:
+                return  # leaves self._lookahead None -> ineligible
+            lookahead = (link.timing.transmission_ticks(DLLP_WIRE_BYTES)
+                         + link.up_link.propagation_delay)
+            self._cuts.append(_BoundaryLink(
+                cut.cut_id, link, cut.parent_rank, cut.child_rank,
+                lookahead))
+        if not self._cuts:
+            return
+        self._lookahead = min(c.lookahead for c in self._cuts)
+        self._name_ranks = dict(self.plan.node_ranks)
+        # Interior links live wholly in their child node's partition;
+        # cut links split at the wire: the parent rank keeps the
+        # upstream interface and the parent->child wire half, the child
+        # rank gets the downstream interface and the child->parent half.
+        for name, link in links.items():
+            self._name_ranks[link.full_name] = self.plan.link_ranks[name]
+        for cut in self._cuts:
+            link_name = cut.link.full_name
+            self._name_ranks[link_name] = cut.parent_rank
+            self._name_ranks[f"{link_name}.down_if"] = cut.child_rank
+            self._name_ranks[f"{link_name}.up_link"] = cut.child_rank
+
+    def eligible(self) -> bool:
+        """Final static checks once the boundary table is resolved."""
+        if self._lookahead is None or self._lookahead < 1:
+            return False
+        # Window bounds reach at most one lookahead past the global
+        # minimum, so a watchdog armed mid-drain (now + period) can
+        # only fire inside the current window if its period is shorter
+        # than the lookahead.  Real watchdog periods are ~4 orders of
+        # magnitude larger; refuse the degenerate configuration.
+        links = getattr(self.system, "links", None) or {}
+        for link in links.values():
+            if link.fc_watchdog < self._lookahead:
+                return False
+        return True
+
+    # -- name / event ownership -------------------------------------------
+    def _rank_of_name(self, full_name: str) -> int:
+        """Owning rank of a dotted object (or stat) name."""
+        rank = self._rank_cache.get(full_name)
+        if rank is not None:
+            return rank
+        parts = full_name.split(".")
+        rank = 0
+        for i in range(len(parts), 0, -1):
+            hit = self._name_ranks.get(".".join(parts[:i]))
+            if hit is not None:
+                rank = hit
+                break
+        self._rank_cache[full_name] = rank
+        return rank
+
+    def _rank_of_event(self, event) -> int:
+        """Owning rank of a scheduled event, via its bound sim object."""
+        from repro.pcie.link import _DeliverEvent, _TxDoneEvent
+        from repro.sim.simobject import SimObject
+        obj = None
+        if isinstance(event, _TxDoneEvent):
+            obj = event.link
+        elif isinstance(event, _DeliverEvent):
+            obj = event.receiver
+        elif isinstance(event, CallbackEvent):
+            cb = event._callback
+            obj = getattr(cb, "__self__", None)
+            if not isinstance(obj, SimObject):
+                obj = None
+                for cell in getattr(cb, "__closure__", None) or ():
+                    try:
+                        value = cell.cell_contents
+                    except ValueError:
+                        continue
+                    if isinstance(value, SimObject):
+                        obj = value
+                        break
+        if obj is None:
+            return 0
+        return self._rank_of_name(obj.full_name)
+
+    # -- pre-fork installation ---------------------------------------------
+    def _install_boundary(self) -> None:
+        """Patch cut links: wire hooks out, peer proxies in."""
+        for cut in self._cuts:
+            self._saved_hooks.append((cut.up_link, cut.down_link))
+            cut.up_link.remote_delivery = self._make_hook(cut, "up_if")
+            cut.down_link.remote_delivery = self._make_hook(cut, "down_if")
+            self._saved_peers.append(
+                (cut.up_if, cut.up_if.peer, cut.down_if, cut.down_if.peer))
+            cut.up_if.peer = _ReadvertiseProxy(self, cut.cut_id, "down_if")
+            cut.down_if.peer = _ReadvertiseProxy(self, cut.cut_id, "up_if")
+
+    def _uninstall_boundary(self) -> None:
+        """Undo :meth:`_install_boundary` (master side, post-run)."""
+        for up_link, down_link in self._saved_hooks:
+            up_link.remote_delivery = None
+            down_link.remote_delivery = None
+        for up_if, up_peer, down_if, down_peer in self._saved_peers:
+            up_if.peer = up_peer
+            down_if.peer = down_peer
+        self._saved_hooks = []
+        self._saved_peers = []
+
+    def _make_hook(self, cut: _BoundaryLink, receiver_side: str):
+        """Wire-delivery hook: ship the packet instead of scheduling.
+
+        Consumes one local sequence number at send time — the position
+        the hybrid engine would have given the deliver event — and
+        queues the message for routing at the next sync point.
+        """
+        dest_rank = cut.rank_of_side(receiver_side)
+        cut_id = cut.cut_id
+        queue = self.queue
+
+        def hook(ppkt, now, arrival):
+            """Capture one boundary send into the outbox."""
+            seq = queue._next_seq
+            queue._next_seq = seq + 1
+            self._outbox.append((dest_rank, cut_id, receiver_side, now,
+                                 arrival, self._rank, seq, ppkt))
+
+        return hook
+
+    def _install_recorder(self) -> Optional[_RecordingSink]:
+        """Swap the tracer's sinks for a per-process recording sink."""
+        tracer = self.sim.tracer
+        if not tracer.enabled:
+            return None
+        from repro.check.checker import _RingSink
+        user_sinks = [s for s in tracer.sinks
+                      if not isinstance(s, _RingSink)]
+        recorder = _RecordingSink(
+            self.queue, tracer.categories,
+            keep_all=bool(user_sinks) and tracer.categories is None)
+        self._saved_sinks = tracer.sinks
+        self._saved_categories = tracer.categories
+        tracer.sinks = [recorder]
+        tracer.categories = None
+        # Dense TLP ids are allocated in *emit argument* position, so
+        # recorded events must keep raw packet ids; the merge replays
+        # allocation over the globally ordered stream instead.
+        tracer.tlp_id = lambda raw: raw
+        self._recorder = recorder
+        return recorder
+
+    def _restore_tracer(self) -> None:
+        """Put the tracer back the way the user had it.  Idempotent."""
+        if self._saved_sinks is None:
+            return
+        tracer = self.sim.tracer
+        tracer.sinks = self._saved_sinks
+        tracer.categories = self._saved_categories
+        try:
+            del tracer.tlp_id
+        except AttributeError:
+            pass
+        self._saved_sinks = None
+        self._saved_categories = None
+
+    # -- per-process setup --------------------------------------------------
+    def _setup_local(self, rank: int) -> None:
+        """Become partition ``rank``: reseed ids, drop foreign events."""
+        self._rank = rank
+        self._outbox = []
+        self._pending_readv = set()
+        self._round_dispatched = 0
+        self._dispatched_total = 0
+        self._over_budget = False
+        self.queue.activate_partitioning(rank, self._n0)
+        if rank:
+            import repro.mem.packet as packet_mod
+            packet_mod._packet_ids = itertools.count(
+                rank * _PACKET_ID_STRIDE)
+        queue = self.queue
+        for entry in queue.live_entries():
+            if self._rank_of_event(entry[3]) != rank:
+                queue.deschedule(entry[3])
+
+    # -- drain machinery ----------------------------------------------------
+    def _drain_below(self, bound: int) -> None:
+        """Dispatch every local event strictly below tick ``bound``."""
+        queue = self.queue
+        budget = self._max_events
+        while True:
+            entry = queue._peek()
+            if entry is None or entry[0] >= bound:
+                break
+            queue.current_key = (entry[0], entry[1], entry[2])
+            queue.service_one()
+            self._round_dispatched += 1
+            self._dispatched_total += 1
+            if budget is not None and self._dispatched_total > budget:
+                self._over_budget = True
+                break
+        queue.current_key = None
+
+    def _scan_hazards(self) -> List[tuple]:
+        """Pending watchdog deadlines on boundary interfaces we own."""
+        hazards = []
+        for cut in self._cuts:
+            for side in ("up_if", "down_if"):
+                if cut.rank_of_side(side) != self._rank:
+                    continue
+                ev = cut.iface(side)._fc_watchdog_event
+                entry = ev._entry
+                if entry is not None:
+                    hazards.append((entry[0], self._rank, entry[2],
+                                    cut.cut_id, side))
+        return hazards
+
+    def _make_report(self) -> dict:
+        """Snapshot this partition's state for the master, and reset."""
+        report = {
+            "next": self.queue.next_tick(),
+            "dispatched": self._round_dispatched,
+            "outbox": self._outbox,
+            "hazards": self._scan_hazards(),
+            "over": self._over_budget,
+        }
+        self._round_dispatched = 0
+        self._outbox = []
+        return report
+
+    def _insert_batch(self, batch: List[tuple]) -> None:
+        """Materialize routed boundary messages as delivery events."""
+        queue = self.queue
+        cuts = self._cuts
+        for (_dest, cut_id, side, send_tick, arrival,
+             sender_rank, sender_seq, ppkt) in batch:
+            receiver = cuts[cut_id].iface(side)
+            event = _BoundaryDeliverEvent(receiver, ppkt)
+            queue.insert_boundary(arrival, event, send_tick,
+                                  sender_rank, sender_seq)
+
+    # -- hazard sub-protocol -------------------------------------------------
+    def _hazard_fire(self, cut: _BoundaryLink, side: str, when: int,
+                     seq: int) -> Tuple[bool, Optional[tuple]]:
+        """Owner side: drain up to and through the watchdog dispatch.
+
+        Returns whether the watchdog actually poked the (proxied) peer,
+        plus the watchdog's global dispatch key for trace attribution.
+        Stale deadlines — descheduled or moved by an earlier event in
+        the same window — report as not-fired.
+        """
+        ev = cut.iface(side)._fc_watchdog_event
+        entry = ev._entry
+        if entry is None or entry[0] != when or entry[2] != seq:
+            return False, None
+        key = (entry[0], entry[1], entry[2])
+        queue = self.queue
+        while True:
+            head = queue._peek()
+            if head is None:
+                break
+            head_key = (head[0], head[1], head[2])
+            if head_key > key:
+                break
+            queue.current_key = head_key
+            queue.service_one()
+            self._round_dispatched += 1
+            self._dispatched_total += 1
+            if head_key == key:
+                break
+        queue.current_key = None
+        peer_side = "down_if" if side == "up_if" else "up_if"
+        token = (cut.cut_id, peer_side)
+        fired = token in self._pending_readv
+        self._pending_readv.discard(token)
+        return fired, queue.gmeta_for_key(key) if fired else None
+
+    def _hazard_apply(self, cut: _BoundaryLink, side: str, when: int,
+                      gmeta: tuple) -> None:
+        """Peer side: re-advertise credits at the watchdog's tick.
+
+        The hybrid engine runs this inside the owner's watchdog
+        dispatch; here it runs engine-side on the peer's partition,
+        with emitted traces keyed just after the watchdog's own records
+        (the appended ``1`` sorts a longer tuple after its prefix).
+        """
+        self._drain_below(when)
+        queue = self.queue
+        if queue.curtick < when:
+            queue.curtick = when
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.force_key = gmeta + (1,)
+        try:
+            cut.iface(side)._readvertise_credits()
+        finally:
+            if recorder is not None:
+                recorder.force_key = None
+
+    def _hazard_master(self, conns, items) -> None:
+        """Master side of a hazard round: sequence fire/apply pairs."""
+        for when, owner_rank, seq, cut_id, side in items:
+            cut = self._cuts[cut_id]
+            peer_side = "down_if" if side == "up_if" else "up_if"
+            peer_rank = cut.rank_of_side(peer_side)
+            if owner_rank == 0:
+                fired, gmeta = self._hazard_fire(cut, side, when, seq)
+            else:
+                msg = self._recv(conns[owner_rank - 1], conns)
+                if msg[0] != "HFIRE":
+                    raise PartitionError(f"expected HFIRE, got {msg[0]}")
+                fired, gmeta = msg[1], msg[2]
+            if peer_rank == 0:
+                if fired:
+                    self._hazard_apply(cut, peer_side, when, gmeta)
+            else:
+                conns[peer_rank - 1].send(("HAPPLY", fired, gmeta))
+                msg = self._recv(conns[peer_rank - 1], conns)
+                if msg[0] != "HDONE":
+                    raise PartitionError(f"expected HDONE, got {msg[0]}")
+
+    def _hazard_participate(self, conn, items) -> None:
+        """Worker side of a hazard round (item order mirrors master)."""
+        for when, owner_rank, seq, cut_id, side in items:
+            cut = self._cuts[cut_id]
+            peer_side = "down_if" if side == "up_if" else "up_if"
+            peer_rank = cut.rank_of_side(peer_side)
+            if owner_rank == self._rank:
+                fired, gmeta = self._hazard_fire(cut, side, when, seq)
+                conn.send(("HFIRE", fired, gmeta))
+            if peer_rank == self._rank:
+                msg = conn.recv()
+                if msg[0] == "DIE":
+                    raise _Abort()
+                if msg[0] != "HAPPLY":
+                    raise PartitionError(f"expected HAPPLY, got {msg[0]}")
+                if msg[1]:
+                    self._hazard_apply(cut, peer_side, when, msg[2])
+                conn.send(("HDONE",))
+
+    # -- master orchestration ------------------------------------------------
+    def run(self, max_events: Optional[int]) -> int:
+        """Fork the workers, run the sync protocol, merge, return tick."""
+        self._max_events = max_events
+        self._install_boundary()
+        recorder = self._install_recorder()
+        self._n0 = self.queue._next_seq
+        self._e0 = self.queue.events_processed
+        ctx = multiprocessing.get_context("fork")
+        conns = []
+        procs = []
+        ships = None
+        try:
+            for rank in range(1, self.nparts):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(target=self._worker_main,
+                                   args=(rank, child_conn), daemon=True)
+                proc.start()
+                child_conn.close()
+                conns.append(parent_conn)
+                procs.append(proc)
+            self._setup_local(0)
+            ships = self._coordinate(conns)
+        finally:
+            for conn in conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            for proc in procs:
+                proc.join(timeout=10)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5)
+            self.queue.deactivate_partitioning()
+            self._uninstall_boundary()
+            self._restore_tracer()
+        self._merge(ships, recorder)
+        return self.queue.curtick
+
+    def _recv(self, conn, conns):
+        """Receive from one worker, aborting everyone on failure."""
+        try:
+            msg = conn.recv()
+        except EOFError:
+            self._die(conns)
+            raise PartitionError("partition worker died unexpectedly")
+        if msg[0] == "ERR":
+            self._die(conns)
+            raise PartitionError(f"partition worker failed:\n{msg[1]}")
+        return msg
+
+    def _die(self, conns) -> None:
+        """Best-effort shutdown broadcast to every worker."""
+        for conn in conns:
+            try:
+                conn.send(("DIE",))
+            except OSError:
+                pass
+
+    def _coordinate(self, conns) -> List[dict]:
+        """The master's lockstep round loop; returns the workers' ships."""
+        report = self._make_report()
+        total = 0
+        while True:
+            reports = [report]
+            for conn in conns:
+                msg = self._recv(conn, conns)
+                if msg[0] != "REPORT":
+                    self._die(conns)
+                    raise PartitionError(f"expected REPORT, got {msg[0]}")
+                reports.append(msg[1])
+            total += sum(r["dispatched"] for r in reports)
+            if (any(r["over"] for r in reports)
+                    or (self._max_events is not None
+                        and total > self._max_events)):
+                self._die(conns)
+                raise PartitionError(
+                    f"partitioned run exceeded max_events="
+                    f"{self._max_events}; the single-process engine "
+                    f"would stop silently, but a truncated partitioned "
+                    f"run cannot merge coherent state")
+            outbox = [m for r in reports for m in r["outbox"]]
+            nexts = [r["next"] for r in reports if r["next"] is not None]
+            arrivals = [m[4] for m in outbox]
+            if not nexts and not arrivals:
+                ships = []
+                for conn in conns:
+                    conn.send(("FINISH",))
+                for conn in conns:
+                    msg = self._recv(conn, conns)
+                    if msg[0] != "SHIP":
+                        raise PartitionError(
+                            f"expected SHIP, got {msg[0]}")
+                    ships.append(msg[1])
+                return ships
+            min_next = min(nexts + arrivals)
+            batches: Dict[int, List[tuple]] = {}
+            for message in sorted(outbox, key=lambda m: (m[3], m[5], m[6])):
+                batches.setdefault(message[0], []).append(message)
+            hazards = sorted(h for r in reports for h in r["hazards"])
+            bound = min_next + self._lookahead
+            if hazards and hazards[0][0] < bound:
+                when = hazards[0][0]
+                if when > min_next:
+                    bound = when
+                else:
+                    items = [h for h in hazards if h[0] == when]
+                    for rank, conn in enumerate(conns, start=1):
+                        conn.send(("HAZARD", when, items,
+                                   batches.get(rank, [])))
+                    self._insert_batch(batches.get(0, []))
+                    self._hazard_master(conns, items)
+                    self._drain_below(when + 1)
+                    report = self._make_report()
+                    continue
+            for rank, conn in enumerate(conns, start=1):
+                conn.send(("GRANT", bound, batches.get(rank, [])))
+            self._insert_batch(batches.get(0, []))
+            self._drain_below(bound)
+            report = self._make_report()
+
+    # -- worker loop ---------------------------------------------------------
+    def _worker_main(self, rank: int, conn) -> None:
+        """Forked worker entry point: never returns, always _exits."""
+        try:
+            self._setup_local(rank)
+            self._participate(rank, conn)
+        except _Abort:
+            pass
+        except BaseException:
+            try:
+                conn.send(("ERR", traceback.format_exc()))
+            except OSError:
+                pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            os._exit(0)
+
+    def _participate(self, rank: int, conn) -> None:
+        """Worker side of the round loop."""
+        while True:
+            conn.send(("REPORT", self._make_report()))
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "GRANT":
+                self._insert_batch(msg[2])
+                self._drain_below(msg[1])
+            elif kind == "HAZARD":
+                self._insert_batch(msg[3])
+                self._hazard_participate(conn, msg[2])
+                self._drain_below(msg[1] + 1)
+            elif kind == "FINISH":
+                conn.send(("SHIP", self._collect_ship(rank)))
+                return
+            elif kind == "DIE":
+                raise _Abort()
+            else:
+                raise PartitionError(f"unknown message kind {kind!r}")
+
+    def _collect_ship(self, rank: int) -> dict:
+        """Everything this partition owns, packaged for the master."""
+        sim = self.sim
+        objects = {}
+        for obj in sim.objects:
+            name = obj.full_name
+            if self._rank_of_name(name) != rank:
+                continue
+            state = obj.state_dict()
+            if state:
+                objects[name] = state
+        stats = {}
+        for path, stat in sim.stats.walk(""):
+            if self._rank_of_name(path) != rank:
+                continue
+            state = stat.state_dict()
+            if state is not None:
+                stats[path] = state
+        return {
+            "rank": rank,
+            "objects": objects,
+            "stats": stats,
+            "checker": sim.checker.state_dict(),
+            "eventq": self.queue.state_dict(),
+            "trace": self._recorder.records if self._recorder else [],
+        }
+
+    # -- merge ----------------------------------------------------------------
+    def _merge(self, ships: List[dict], recorder) -> None:
+        """Fold the workers' shipped state into the master simulation."""
+        sim = self.sim
+        queue = self.queue
+        for ship in ships:
+            for name, state in ship["objects"].items():
+                sim.find(name).load_state_dict(state)
+        stat_map = dict(sim.stats.walk(""))
+        for ship in ships:
+            for path, state in ship["stats"].items():
+                stat_map[path].load_state_dict(state)
+        merged = sim.checker.state_dict()
+        for ship in ships:
+            rank = ship["rank"]
+            doc = ship["checker"]
+            for name, vals in doc["pairs"].items():
+                if self._rank_of_name(name) == rank:
+                    merged["pairs"][name] = vals
+            for name, vals in doc["links"].items():
+                if self._rank_of_name(name) == rank:
+                    merged["links"][name] = vals
+            merged["last_dispatch_tick"] = max(
+                merged["last_dispatch_tick"], doc["last_dispatch_tick"])
+        sim.checker.load_state_dict(merged)
+        n0, e0 = self._n0, self._e0
+        queue._next_seq += sum(
+            ship["eventq"]["next_seq"] - n0 for ship in ships)
+        queue.events_processed += sum(
+            ship["eventq"]["events_processed"] - e0 for ship in ships)
+        queue.curtick = max(
+            [queue.curtick] + [ship["eventq"]["curtick"] for ship in ships])
+        if recorder is not None:
+            self._merge_traces(ships, recorder)
+
+    def _merge_traces(self, ships: List[dict], recorder) -> None:
+        """Replay all processes' trace records in global dispatch order.
+
+        The stable sort keeps each dispatch's emissions in their
+        original relative order (they share a key); dense TLP-id
+        allocation is replayed over every TLP-carrying record — exactly
+        the order the hybrid engine allocated in — and only records
+        passing the user's original category filter reach real sinks.
+        The checker's diagnostic ring buffer deliberately receives
+        nothing: its contents are unordered across partitions and are
+        never part of compared artifacts.
+        """
+        from repro.check.checker import _RingSink
+        tracer = self.sim.tracer
+        records = list(recorder.records)
+        for ship in ships:
+            records.extend(ship["trace"])
+        records.sort(key=lambda pair: pair[0])
+        categories = tracer.categories
+        sinks = [s for s in tracer.sinks if not isinstance(s, _RingSink)]
+        for _key, event in records:
+            if "tlp" in event:
+                event["tlp"] = tracer.tlp_id(event["tlp"])
+            if categories is None or event["cat"] in categories:
+                for sink in sinks:
+                    sink.record(event)

@@ -769,6 +769,7 @@ def deep_hierarchy_spec(
     replay_buffer_size: int = 4,
     service_interval: int = ticks.from_ns(42),
     ack_policy: str = "immediate",
+    enable_msi: bool = False,
 ) -> TopologySpec:
     """A switch spine of ``depth`` levels with ``fanout`` devices each.
 
@@ -794,6 +795,9 @@ def deep_hierarchy_spec(
         replay_buffer_size: per-link replay buffer.
         service_interval: datapath admission interval (ticks).
         ack_policy: link ACK policy.
+        enable_msi: deliver device interrupts as MSI memory writes
+            through the fabric (required by the partitioned-parallel
+            backend) instead of legacy INTx wires.
     """
     _require(depth >= 1, "deep hierarchy needs depth >= 1")
     _require(fanout >= 1, "deep hierarchy needs fanout >= 1")
@@ -822,5 +826,6 @@ def deep_hierarchy_spec(
     return TopologySpec(
         children=[build_level(1)],
         rc_buffer_size=buffer_size, rc_service_interval=service_interval,
+        enable_msi=enable_msi,
         name=f"deep_hierarchy_d{depth}_f{fanout}",
     ).finalize()

@@ -25,7 +25,6 @@ port buffers of 16 packets and replay buffers of 4 — every one of those
 knobs is a keyword argument because the paper's Figure 9 sweeps them.
 """
 
-import warnings
 from typing import Dict, List, Optional, Union
 
 from repro.devices.accel import DmaAccelerator
@@ -69,49 +68,6 @@ class AmbiguousDeviceError(LookupError):
     (or ``device=`` in sweep points)."""
 
 
-class _DeviceMap(dict):
-    """``PcieSystem.devices`` with a deprecation shim: the MSI doorbell
-    used to live here under ``"msi_doorbell"`` but is platform plumbing,
-    not a device — it now lives in :attr:`PcieSystem.msi_doorbell`.
-    Lookups through the old key keep working with a DeprecationWarning.
-    """
-
-    _LEGACY_KEY = "msi_doorbell"
-
-    def __init__(self, system: "PcieSystem"):
-        super().__init__()
-        self._system = system
-
-    def _legacy_doorbell(self):
-        doorbell = self._system.msi_doorbell
-        if doorbell is None:
-            return None
-        warnings.warn(
-            'devices["msi_doorbell"] is deprecated; use '
-            "PcieSystem.msi_doorbell instead",
-            DeprecationWarning, stacklevel=3,
-        )
-        return doorbell
-
-    def __missing__(self, key):
-        if key == self._LEGACY_KEY:
-            doorbell = self._legacy_doorbell()
-            if doorbell is not None:
-                return doorbell
-        raise KeyError(key)
-
-    def get(self, key, default=None):
-        try:
-            return self[key]
-        except KeyError:
-            return default
-
-    def __contains__(self, key):
-        if dict.__contains__(self, key):
-            return True
-        return key == self._LEGACY_KEY and self._system.msi_doorbell is not None
-
-
 class PcieSystem:
     """Handles to an assembled, booted system.
 
@@ -132,7 +88,7 @@ class PcieSystem:
         self.switch: Optional[PcieSwitch] = None
         self.switches: Dict[str, PcieSwitch] = {}
         self.links: Dict[str, PcieLink] = {}
-        self.devices: Dict[str, object] = _DeviceMap(self)
+        self.devices: Dict[str, object] = {}
         self.drivers: Dict[str, object] = {}
         self.msi_doorbell = None
         self.spec: Optional[Union[TopologySpec, ClassicPciSpec]] = None
@@ -397,6 +353,9 @@ def _build_pcie_from_spec(spec: TopologySpec, sim: Simulator,
     spec.validate()
     system = _build_core(sim, addrmap, kernel_config)
     system.spec = spec
+    # The partitioned-parallel engine (repro.sim.partition) needs the
+    # built system and its spec to plan subtree cuts at run time.
+    sim.pcie_system = system
 
     advert = _advertised_link(spec)
     root_complex = RootComplex(
@@ -445,6 +404,7 @@ def _build_classic_from_spec(spec: ClassicPciSpec, sim: Simulator,
     spec.validate()
     system = _build_core(sim, addrmap, kernel_config)
     system.spec = spec
+    sim.pcie_system = system
 
     bus = PciBus(sim, clock_mhz=spec.clock_mhz)
     system.devices["pci_bus"] = bus
@@ -479,6 +439,7 @@ def build_system(
     addrmap: AddressMap = VEXPRESS_GEM5_V1,
     kernel_config: Optional[KernelConfig] = None,
     check: Optional[bool] = None,
+    partitions: Optional[int] = None,
 ) -> PcieSystem:
     """Build, boot and bind any machine a topology spec can describe.
 
@@ -493,6 +454,10 @@ def build_system(
         check: arm the runtime invariant checker on the freshly built
             simulator (ignored when ``sim`` is supplied); None defers to
             the ``REPRO_CHECK`` environment variable.
+        partitions: partition-count hint for the ``parallel`` backend
+            (see :mod:`repro.sim.partition`); None defers to the
+            ``REPRO_PARTITIONS`` environment variable.  Ignored by
+            single-process backends.
 
     Returns:
         A :class:`PcieSystem` whose ``devices``/``links``/``switches``/
@@ -502,6 +467,8 @@ def build_system(
     if isinstance(spec, dict):
         spec = spec_from_dict(spec)
     sim = sim or Simulator(check=check)
+    if partitions is not None:
+        sim.partition_hint = partitions
     if isinstance(spec, ClassicPciSpec):
         return _build_classic_from_spec(spec, sim, addrmap, kernel_config)
     if isinstance(spec, TopologySpec):

@@ -1,0 +1,259 @@
+"""Unit battery for the partitioned-parallel engine (repro.sim.partition).
+
+Static coverage: partition planning (cut selection, nested parent
+ranks, link ownership), the hint chain (builder kwarg vs environment),
+the engagement guards in ``_build_engine`` (everything that must fall
+back to the serial drain), backend registration, and the harness
+``--partitions`` flag contract.  The run-to-identity battery lives in
+``tests/system/test_partition_identity.py``.
+"""
+
+import pytest
+
+from repro.sim.backend import backend_names, resolve
+from repro.sim.partition import (
+    PARTITIONS_ENV,
+    PartitionEventQueue,
+    _build_engine,
+    _partition_hint,
+    plan_partitions,
+)
+from repro.system.spec import deep_hierarchy_spec, validation_spec
+from repro.system.topology import build_system, build_validation_system
+
+
+# ----------------------------------------------------------- partition plans
+
+
+def test_default_plan_cuts_every_root_port():
+    plan = plan_partitions(validation_spec(enable_msi=True))
+    assert plan.num_partitions == 2
+    assert [(c.link_name, c.parent_rank, c.child_rank)
+            for c in plan.cuts] == [("root", 0, 1)]
+    # Everything below the root port belongs to the child rank.
+    assert plan.node_ranks == {"switch": 1, "disk": 1}
+    assert plan.link_ranks == {"root": 1, "disk": 1}
+
+
+def test_hinted_plan_cuts_largest_subtrees_with_nested_parent_ranks():
+    plan = plan_partitions(deep_hierarchy_spec(4, 1), 4)
+    assert plan.num_partitions == 4
+    # The deep chain nests sw1 > sw2 > sw3; each cut's parent side is
+    # the rank owning the switch above it, not always rank 0.
+    assert [(c.link_name, c.parent_rank, c.child_rank)
+            for c in plan.cuts] == [("sw1", 0, 1), ("sw2", 1, 2),
+                                    ("sw3", 2, 3)]
+    assert plan.node_ranks["sw1_disk0"] == 1
+    assert plan.node_ranks["sw2_disk0"] == 2
+    # sw4 hangs off sw3 and stays with sw3's rank.
+    assert plan.node_ranks["sw4"] == 3
+    assert plan.node_ranks["sw4_disk0"] == 3
+
+
+def test_hint_two_cuts_single_largest_subtree():
+    plan = plan_partitions(deep_hierarchy_spec(4, 1), 2)
+    assert plan.num_partitions == 2
+    assert [(c.link_name, c.child_rank) for c in plan.cuts] == [("sw1", 1)]
+    # One cut at the top of the chain: the whole fabric below is rank 1.
+    assert set(plan.node_ranks.values()) == {1}
+
+
+def test_hint_one_means_no_cuts():
+    plan = plan_partitions(deep_hierarchy_spec(2, 2), 1)
+    assert plan.num_partitions == 1
+    assert plan.cuts == []
+
+
+def test_link_ranks_cover_every_spec_link():
+    spec = deep_hierarchy_spec(3, 2)
+    plan = plan_partitions(spec, 3)
+
+    def link_names(node):
+        yield node.link.name
+        for child in getattr(node, "children", None) or ():
+            yield from link_names(child)
+
+    expected = {name for child in spec.children
+                for name in link_names(child)}
+    assert set(plan.link_ranks) == expected
+
+
+# ----------------------------------------------------------- the hint chain
+
+
+class _FakeSim:
+    def __init__(self, hint=None):
+        if hint is not None:
+            self.partition_hint = hint
+
+
+def test_builder_hint_wins_over_environment(monkeypatch):
+    monkeypatch.setenv(PARTITIONS_ENV, "7")
+    assert _partition_hint(_FakeSim(hint=3)) == 3
+
+
+def test_environment_hint_used_when_builder_silent(monkeypatch):
+    monkeypatch.setenv(PARTITIONS_ENV, "4")
+    assert _partition_hint(_FakeSim()) == 4
+
+
+def test_no_hint_anywhere_is_none(monkeypatch):
+    monkeypatch.delenv(PARTITIONS_ENV, raising=False)
+    assert _partition_hint(_FakeSim()) is None
+
+
+def test_garbage_environment_hint_fails_loudly(monkeypatch):
+    monkeypatch.setenv(PARTITIONS_ENV, "many")
+    with pytest.raises(ValueError, match=PARTITIONS_ENV):
+        _partition_hint(_FakeSim())
+
+
+def test_build_system_partitions_kwarg_sets_the_hint(monkeypatch):
+    monkeypatch.delenv(PARTITIONS_ENV, raising=False)
+    system = build_system(validation_spec(enable_msi=True), partitions=2)
+    assert system.sim.partition_hint == 2
+    assert _partition_hint(system.sim) == 2
+
+
+# ------------------------------------------------------- engagement guards
+
+
+@pytest.fixture
+def parallel_env(monkeypatch):
+    """Select the parallel backend and clear any partition hint."""
+    monkeypatch.setenv("REPRO_BACKEND", "parallel")
+    monkeypatch.delenv(PARTITIONS_ENV, raising=False)
+
+
+def _armed_system(**kwargs):
+    """A validation system with one pending event (engageable queue)."""
+    system = build_validation_system(**kwargs)
+    system.sim.schedule_callback(10, lambda: None, "poke")
+    return system
+
+
+def test_engages_on_msi_validation_fabric(parallel_env):
+    system = _armed_system(enable_msi=True)
+    engine = _build_engine(system.sim, None)
+    assert engine is not None
+    assert engine.nparts == 2
+
+
+def test_falls_back_without_msi(parallel_env):
+    # Legacy INTx interrupts are synchronous device->kernel calls that
+    # bypass the fabric; the engine cannot reproduce them, so non-MSI
+    # fabrics must drain single-process.
+    system = _armed_system()
+    assert _build_engine(system.sim, None) is None
+
+
+def test_falls_back_on_bounded_horizon(parallel_env):
+    system = _armed_system(enable_msi=True)
+    assert _build_engine(system.sim, 1_000_000) is None
+
+
+def test_falls_back_on_empty_queue(parallel_env):
+    system = build_validation_system(enable_msi=True)
+    assert _build_engine(system.sim, None) is None
+
+
+def test_falls_back_on_hint_one(parallel_env, monkeypatch):
+    monkeypatch.setenv(PARTITIONS_ENV, "1")
+    system = _armed_system(enable_msi=True)
+    assert _build_engine(system.sim, None) is None
+
+
+def test_falls_back_on_non_partition_queue(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "hybrid")
+    system = _armed_system(enable_msi=True)
+    assert not isinstance(system.sim.eventq, PartitionEventQueue)
+    assert _build_engine(system.sim, None) is None
+
+
+# ---------------------------------------------------- backend registration
+
+
+def test_parallel_backend_is_registered():
+    assert "parallel" in backend_names()
+    backend = resolve("parallel")
+    assert backend.partitioned
+    assert not backend.link_fastpath
+
+
+def test_only_parallel_is_partitioned():
+    for name in ("reference", "hybrid", "turbo"):
+        assert not resolve(name).partitioned
+
+
+def test_parallel_backend_builds_partition_queue():
+    queue = resolve("parallel").make_eventq("q")
+    assert isinstance(queue, PartitionEventQueue)
+
+
+# ------------------------------------------------ harness --partitions flag
+
+
+def _scrub(monkeypatch, name):
+    """Unset ``name`` so teardown restores it even if the harness sets it.
+
+    ``monkeypatch.delenv(..., raising=False)`` records nothing for an
+    absent key, so a later ``os.environ[name] = ...`` inside the code
+    under test would leak past the test.  Setting first registers the
+    original (absent) state; deleting then gives the unset precondition.
+    """
+    monkeypatch.setenv(name, "sentinel")
+    monkeypatch.delenv(name)
+
+
+def test_harness_rejects_partitions_on_serial_backend(monkeypatch, capsys):
+    import os
+
+    from benchmarks import harness
+
+    _scrub(monkeypatch, "REPRO_BACKEND")
+    _scrub(monkeypatch, PARTITIONS_ENV)
+    assert harness.main(["fig9b", "--partitions", "2"]) == 2
+    err = capsys.readouterr().err
+    assert "partitioned backend" in err
+    assert PARTITIONS_ENV not in os.environ
+
+
+def test_harness_rejects_nonpositive_partitions(monkeypatch, capsys):
+    from benchmarks import harness
+
+    _scrub(monkeypatch, "REPRO_BACKEND")
+    _scrub(monkeypatch, PARTITIONS_ENV)
+    assert harness.main(
+        ["fig9b", "--backend", "parallel", "--partitions", "0"]) == 2
+    assert "must be >= 1" in capsys.readouterr().err
+
+
+def test_harness_partitions_composes_with_parallel_backend(monkeypatch,
+                                                           capsys):
+    import os
+
+    from benchmarks import harness
+
+    _scrub(monkeypatch, "REPRO_BACKEND")
+    _scrub(monkeypatch, PARTITIONS_ENV)
+    # A bogus benchmark name stops the run *after* the flag gates: the
+    # partitions/backend combination was accepted and exported.
+    assert harness.main(
+        ["nonesuch", "--backend", "parallel", "--partitions", "2"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+    assert os.environ["REPRO_BACKEND"] == "parallel"
+    assert os.environ[PARTITIONS_ENV] == "2"
+
+
+def test_harness_partitions_honors_backend_environment(monkeypatch, capsys):
+    import os
+
+    from benchmarks import harness
+
+    # --partitions without --backend consults $REPRO_BACKEND, so the
+    # flag composes with an environment-selected parallel engine.
+    monkeypatch.setenv("REPRO_BACKEND", "parallel")
+    _scrub(monkeypatch, PARTITIONS_ENV)
+    assert harness.main(["nonesuch", "--partitions", "4"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().err
+    assert os.environ[PARTITIONS_ENV] == "4"

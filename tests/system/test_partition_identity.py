@@ -1,0 +1,180 @@
+"""Byte-identity battery: partitioned runs vs the single-process hybrid.
+
+The partitioned engine's contract is that engaging it is unobservable:
+the same trace bytes on the golden scenarios, the same statistics
+document and checkpoint digest on deeper fabrics, fault injection
+included.  Every test here runs the same scenario twice (or three
+times) — once per backend/partition-count — in fresh simulators, and
+compares the artifacts byte for byte.
+
+Each partitioned run also *asserts engagement* (via a probe wrapped
+around ``PartitionEngine.run``): a fallback to the serial drain would
+make these comparisons trivially green without testing anything.
+
+One honest caveat, documented in ARCHITECTURE.md: on fabrics with
+traffic in both directions across a cut, trace records emitted by
+*different* partitions at the same tick merge in a deterministic
+conventional order that may differ from hybrid's global schedule order
+(that interleaving is sequential information a conservative parallel
+engine does not have).  Stats and checkpoints are unaffected — state
+is; record order between decoupled partitions within one tick is not.
+The golden validation-fabric scenarios are byte-identical including
+trace order, and CI enforces that; the deep-hierarchy tests pin stats
+and checkpoint digests.
+"""
+
+import json
+
+import pytest
+
+import repro.sim.partition as partition_mod
+from repro.sim.checkpoint import checkpoint_digest
+from repro.system.spec import deep_hierarchy_spec
+from repro.workloads.scenarios import Scenario
+from repro.workloads.scenarios import run_scenario as run_traffic_scenario
+from repro.workloads.traffic import FlowSpec
+
+from tests.golden.scenario import run_scenario as run_golden_scenario
+
+
+@pytest.fixture
+def engaged(monkeypatch):
+    """Probe that records each PartitionEngine engagement's rank count."""
+    counts = []
+    real_run = partition_mod.PartitionEngine.run
+
+    def probe(self, max_events):
+        counts.append(self.nparts)
+        return real_run(self, max_events)
+
+    monkeypatch.setattr(partition_mod.PartitionEngine, "run", probe)
+    return counts
+
+
+@pytest.fixture
+def backend_env(monkeypatch):
+    """Setter for the backend / partition-count environment knobs."""
+
+    def select(backend=None, partitions=None):
+        for name in ("REPRO_BACKEND", partition_mod.PARTITIONS_ENV):
+            monkeypatch.setenv(name, "sentinel")
+            monkeypatch.delenv(name)
+        if backend is not None:
+            monkeypatch.setenv("REPRO_BACKEND", backend)
+        if partitions is not None:
+            monkeypatch.setenv(partition_mod.PARTITIONS_ENV,
+                               str(partitions))
+
+    return select
+
+
+# ------------------------------------------- validation-fabric golden runs
+
+
+def test_golden_dd_trace_is_byte_identical(backend_env, engaged):
+    backend_env("hybrid")
+    hybrid = run_golden_scenario("dd_gen2x1", enable_msi=True)
+    assert engaged == []
+    backend_env("parallel")
+    parallel = run_golden_scenario("dd_gen2x1", enable_msi=True)
+    assert engaged == [2]
+    assert parallel == hybrid
+
+
+def test_fault_injected_golden_trace_is_byte_identical(backend_env, engaged):
+    # error_rate=0.2 exercises NAK/replay across the cut;
+    # dllp_error_rate additionally corrupts the ack/credit DLLPs the
+    # sync protocol itself rides on, arming the fc watchdogs.
+    overrides = {"enable_msi": True, "dllp_error_rate": 0.05}
+    backend_env("hybrid")
+    hybrid = run_golden_scenario("dd_gen2x1_err", **overrides)
+    backend_env("parallel")
+    parallel = run_golden_scenario("dd_gen2x1_err", **overrides)
+    assert engaged == [2]
+    assert parallel == hybrid
+
+
+# ------------------------------------------------- deep-hierarchy identity
+
+
+def _deep_scenario():
+    """Four concurrent dd readers spread over the depth-4 chain fabric."""
+    topo = deep_hierarchy_spec(4, 1, enable_msi=True)
+    flows = [
+        FlowSpec(name=f"r{i}", kind="dd_read", device=f"sw{i + 1}_disk0",
+                 requests=6, bytes_per_request=16384, seed=7 + i)
+        for i in range(4)
+    ]
+    return Scenario(name="deep_msi", topology=topo, flows=flows)
+
+
+def _run_deep(check=False):
+    system, engine = run_traffic_scenario(_deep_scenario(), check=check)
+    assert engine.completed
+    stats = json.dumps(system.sim.dump_stats(), sort_keys=True)
+    return stats, checkpoint_digest(system.sim.checkpoint())
+
+
+@pytest.mark.slow
+def test_deep_hierarchy_identity_at_two_and_four_partitions(backend_env,
+                                                            engaged):
+    backend_env("hybrid")
+    stats_h, digest_h = _run_deep()
+    assert engaged == []
+    backend_env("parallel", partitions=2)
+    stats_p2, digest_p2 = _run_deep()
+    assert engaged == [2]
+    backend_env("parallel", partitions=4)
+    stats_p4, digest_p4 = _run_deep()
+    assert engaged == [2, 4]
+    assert stats_p2 == stats_h
+    assert stats_p4 == stats_h
+    assert digest_p2 == digest_h
+    assert digest_p4 == digest_h
+
+
+@pytest.mark.slow
+def test_dense_fanout_identity_pins_live_tail_placement(backend_env,
+                                                        engaged):
+    # Regression pin for the squashed-prefix insert bug: on a fanout-2
+    # fabric the replay-timer descheduling leaves far-future squashed
+    # keys in the active batch's consumed prefix, and a whole-list
+    # bisect there once stacked boundary deliveries in reverse tick
+    # order (one UpdateFC DLLP shifted 2000 ticks, five stats moved).
+    # Placement must bisect the live tail only.
+    topo = deep_hierarchy_spec(4, 2, enable_msi=True)
+    flows = [
+        FlowSpec(name=f"r{i}", kind="dd_read",
+                 device=f"sw{(i % 4) + 1}_disk{i // 4}",
+                 requests=6, bytes_per_request=16384, seed=7 + i)
+        for i in range(8)
+    ]
+    scenario = Scenario(name="dense_msi", topology=topo, flows=flows)
+
+    def run_once():
+        system, engine = run_traffic_scenario(scenario)
+        assert engine.completed
+        return (json.dumps(system.sim.dump_stats(), sort_keys=True),
+                checkpoint_digest(system.sim.checkpoint()))
+
+    backend_env("hybrid")
+    stats_h, digest_h = run_once()
+    backend_env("parallel", partitions=2)
+    stats_p, digest_p = run_once()
+    assert engaged == [2]
+    assert stats_p == stats_h
+    assert digest_p == digest_h
+
+
+@pytest.mark.slow
+def test_deep_hierarchy_identity_under_the_checker(backend_env, engaged):
+    # The invariant checker's ledgers are merged by ownership after a
+    # partitioned run; a green check plus identical digests shows the
+    # merged ledgers describe the same machine hybrid saw.
+    backend_env("hybrid")
+    stats_h, digest_h = _run_deep(check=True)
+    backend_env("parallel", partitions=4)
+    stats_p, digest_p = _run_deep(check=True)
+    assert engaged == [4]
+    assert stats_p == stats_h
+    assert digest_p == digest_h

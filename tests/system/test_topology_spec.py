@@ -187,13 +187,18 @@ def test_msi_doorbell_is_a_field_not_a_device():
     assert system.kernel.msi_target_addr == system.msi_doorbell.range.start
 
 
-def test_msi_doorbell_legacy_key_warns_but_works():
+def test_msi_doorbell_legacy_alias_is_gone():
+    # The deprecated ``devices["msi_doorbell"]`` alias (a _DeviceMap
+    # shim that warned and forwarded to the field) has been removed:
+    # ``devices`` is a plain dict of actual endpoint devices again.
     system = build_validation_system(enable_msi=True)
-    with pytest.warns(DeprecationWarning, match="msi_doorbell"):
-        assert system.devices["msi_doorbell"] is system.msi_doorbell
-    with pytest.warns(DeprecationWarning):
-        assert system.devices.get("msi_doorbell") is system.msi_doorbell
-    assert "msi_doorbell" in system.devices
+    assert type(system.devices) is dict
+    assert "msi_doorbell" not in system.devices
+    assert system.devices.get("msi_doorbell") is None
+    with pytest.raises(KeyError):
+        system.devices["msi_doorbell"]
+    # The doorbell itself still exists — as the dedicated field.
+    assert system.msi_doorbell is not None
 
 
 def test_no_doorbell_without_msi():
